@@ -1,0 +1,26 @@
+-- Demo script for rdbsh: run with
+--   dune exec bin/rdbsh.exe -- --demo --file examples/demo.sql
+-- The --demo flag preloads FAMILIES / ORDERS / EMPLOYEES.
+
+-- The dynamic optimizer picks a tactic per run:
+SELECT COUNT(*) FROM ORDERS WHERE CUSTOMER = 1 AND PRICE < 2000;
+SELECT COUNT(*) FROM ORDERS WHERE CUSTOMER = 1999 AND PRICE < 2000;
+
+-- EXPLAIN shows the run-time decisions (estimates, discards, switches):
+EXPLAIN SELECT ID FROM ORDERS
+WHERE CUSTOMER = 3 AND PRODUCT = 7 AND PRICE < 2500;
+
+-- The paper's motivating host-variable query (bind with .set A1 95):
+SELECT COUNT(*) FROM FAMILIES WHERE AGE >= 95;
+SELECT COUNT(*) FROM FAMILIES WHERE AGE >= 200;   -- cancelled: empty range
+
+-- Covered ORs use the union tactic:
+SELECT COUNT(*) FROM ORDERS WHERE CUSTOMER = 1500 OR PRODUCT = 444;
+
+-- Goal inference (LIMIT -> fast-first, DISTINCT -> total-time):
+SELECT DISTINCT PRODUCT FROM ORDERS WHERE CUSTOMER = 2 ORDER BY PRODUCT;
+SELECT ID FROM ORDERS WHERE PRICE < 100 LIMIT TO 3 ROWS;
+
+-- Joins probe the inner table per outer row, memoized per value:
+SELECT COUNT(*) FROM EMPLOYEES, FAMILIES
+WHERE EMPLOYEES.AGE = FAMILIES.AGE AND SALARY > 100000;
