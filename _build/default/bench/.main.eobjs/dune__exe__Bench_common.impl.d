@@ -1,0 +1,1 @@
+bench/bench_common.ml: List Printf Rdb_engine Rdb_exec Rdb_storage Rdb_util String

@@ -1,0 +1,1 @@
+bench/exp_clustering.ml: Bench_common Cost_model Database Fscan List Option Predicate Printf Range_extract Rdb_btree Rdb_data Rdb_engine Rdb_exec Rdb_storage Rdb_workload Scan Table Value

@@ -1,0 +1,1 @@
+bench/exp_competition.ml: Bench_common List Printf Rdb_core Rdb_dist Rdb_util

@@ -1,0 +1,1 @@
+bench/exp_fig21.ml: Bench_common Dist Float List Printf Rdb_dist Rdb_util Shape

@@ -1,0 +1,1 @@
+bench/exp_fig22.ml: Bench_common Dist List Printf Rdb_dist Rdb_util Shape

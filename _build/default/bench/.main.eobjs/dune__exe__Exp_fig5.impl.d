@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Array Bench_common Btree Estimate List Printf Rdb_btree Rdb_data Rdb_storage Rdb_util Rid Value

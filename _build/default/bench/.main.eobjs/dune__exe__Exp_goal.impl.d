@@ -1,0 +1,1 @@
+bench/exp_goal.ml: Bench_common Float List Printf Rdb_core Rdb_engine Rdb_sql Rdb_util String

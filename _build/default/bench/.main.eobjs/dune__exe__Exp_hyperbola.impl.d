@@ -1,0 +1,1 @@
+bench/exp_hyperbola.ml: Bench_common Dist Hyperbola List Printf Rdb_dist

@@ -1,0 +1,1 @@
+bench/exp_interference.ml: Bench_common Database Float Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_workload Value

@@ -1,0 +1,1 @@
+bench/exp_join.ml: Bench_common Database Float List Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_sql Rdb_util Rdb_workload String Value

@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Bechamel Bench_common Benchmark Hashtbl Instance List Measure Printf Rdb_btree Rdb_data Rdb_dist Rdb_rid Rdb_storage Rdb_util Staged Test Time Toolkit

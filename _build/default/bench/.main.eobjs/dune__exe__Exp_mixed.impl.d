@@ -1,0 +1,1 @@
+bench/exp_mixed.ml: Bench_common Database Hashtbl List Option Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_exec Rdb_storage Rdb_util Rdb_workload Table Value

@@ -1,0 +1,1 @@
+bench/exp_sampling.ml: Array Bench_common Btree Float Int List Printf Rdb_btree Rdb_data Rdb_storage Rdb_util Rid Sampling Value

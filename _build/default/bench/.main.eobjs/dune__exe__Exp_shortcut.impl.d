@@ -1,0 +1,1 @@
+bench/exp_shortcut.ml: Bench_common Database List Option Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_exec Rdb_util Rdb_workload Table Value

@@ -1,0 +1,1 @@
+bench/exp_tactics.ml: Bench_common Database List Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_exec Rdb_workload Value

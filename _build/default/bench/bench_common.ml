@@ -1,0 +1,22 @@
+(* Shared helpers for the experiment harness. *)
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let table ~header rows = print_string (Rdb_util.Ascii_plot.table ~header rows)
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+
+let flush_pool db = Rdb_storage.Buffer_pool.flush (Rdb_engine.Database.pool db)
+
+(* Count trace events matching a predicate. *)
+let count_events trace pred = List.length (List.filter pred trace)
+
+let discards trace =
+  count_events trace (function Rdb_exec.Trace.Scan_discarded _ -> true | _ -> false)

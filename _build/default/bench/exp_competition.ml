@@ -1,0 +1,79 @@
+(* §3 competition model.
+
+   Two plans with L-shaped (truncated hyperbola) cost distributions,
+   half the mass below a small knee.  The paper's arithmetic: running
+   A2 to its knee then switching to A1 costs (m2 + c2 + M1)/2, about
+   half the traditional M1.  We evaluate the closed forms, optimize the
+   switch point, run the proportional-speed simultaneous policy, and
+   cross-check with Monte Carlo. *)
+
+module CM = Rdb_core.Competition_math
+
+let name = "competition"
+let description = "§3 competition model: direct & two-stage switch policies vs traditional"
+
+let monte_carlo ~seed ~runs ~a1 ~a2 ~switch_at =
+  (* Draw independent costs and apply the knee-switch policy. *)
+  let rng = Rdb_util.Prng.create ~seed in
+  let d1 = Rdb_dist.Dist.hyperbola ~b:0.0101 () in
+  ignore d1;
+  let acc = ref 0.0 in
+  for _ = 1 to runs do
+    let x2 = CM.quantile a2 (Rdb_util.Prng.float rng 1.0) in
+    let x1 = CM.quantile a1 (Rdb_util.Prng.float rng 1.0) in
+    let cost = if x2 <= switch_at then x2 else switch_at +. x1 in
+    acc := !acc +. cost
+  done;
+  !acc /. float_of_int runs
+
+let run () =
+  Bench_common.section "Experiment competition — §3 cost arithmetic";
+  let configs =
+    [ (10.0, 1000.0, 8.0, 1200.0); (5.0, 500.0, 5.0, 500.0); (20.0, 2000.0, 10.0, 1500.0) ]
+  in
+  let rows =
+    List.map
+      (fun (knee1, cmax1, knee2, cmax2) ->
+        let a1 = CM.l_shaped ~knee:knee1 ~cmax:cmax1 () in
+        let a2 = CM.l_shaped ~knee:knee2 ~cmax:cmax2 () in
+        let m1 = CM.mean a1 in
+        let c2 = CM.quantile a2 0.5 in
+        let m2 = CM.mean_below a2 c2 in
+        let paper = 0.5 *. (m2 +. c2 +. m1) in
+        let knee_policy = CM.switch_cost ~try_:a2 ~fallback:a1 ~switch_at:c2 in
+        let tau, best_switch = CM.optimal_switch ~try_:a2 ~fallback:a1 in
+        let sa, ab, best_sim = CM.optimal_simultaneous ~a:a1 ~b:a2 in
+        ignore (sa, ab);
+        let mc = monte_carlo ~seed:7 ~runs:20000 ~a1 ~a2 ~switch_at:c2 in
+        [
+          Printf.sprintf "%g/%g" knee1 cmax1;
+          Bench_common.f1 m1;
+          Bench_common.f1 c2;
+          Bench_common.f1 m2;
+          Bench_common.f1 paper;
+          Bench_common.f1 knee_policy;
+          Bench_common.f1 mc;
+          Printf.sprintf "%.1f@%.1f" best_switch tau;
+          Bench_common.f1 best_sim;
+        ])
+      configs
+  in
+  Bench_common.table
+    ~header:
+      [ "knee/cmax"; "M1 (trad.)"; "c2"; "m2"; "paper (m2+c2+M1)/2"; "knee switch";
+        "monte carlo"; "optimal switch"; "simultaneous" ]
+    rows;
+  Bench_common.subsection "paper checkpoints";
+  let a1 = CM.l_shaped ~knee:10.0 ~cmax:1000.0 () in
+  let a2 = CM.l_shaped ~knee:8.0 ~cmax:1200.0 () in
+  let m1 = CM.mean a1 in
+  let c2 = CM.quantile a2 0.5 in
+  let knee_policy = CM.switch_cost ~try_:a2 ~fallback:a1 ~switch_at:c2 in
+  Printf.printf "competition about halves the traditional cost (%.1f vs %.1f): %b\n"
+    knee_policy m1
+    (knee_policy < 0.7 *. m1);
+  let _, _, sim = CM.optimal_simultaneous ~a:a1 ~b:a2 in
+  Printf.printf
+    "simultaneous proportional-speed run is still better (%.1f <= %.1f): %b\n" sim
+    knee_policy
+    (sim <= knee_policy *. 1.05)

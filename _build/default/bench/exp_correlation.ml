@@ -1,0 +1,80 @@
+(* §2 — unknown correlations in practice.
+
+   The independence assumption predicts sel(A AND B) = sel(A)·sel(B);
+   with strongly correlated columns the truth is ≈ min(sel(A), sel(B)),
+   orders of magnitude bigger.  The dynamic optimizer's projections use
+   independence *optimism* for un-scanned candidates, so correlated
+   data is its adversarial case: we verify that mid-scan evidence
+   (accepted-count extrapolation) and the guaranteed best keep the
+   damage bounded, as the competition architecture promises. *)
+
+open Rdb_data
+open Rdb_engine
+module R = Rdb_core.Retrieval
+module SJ = Rdb_core.Static_jscan
+
+let name = "correlation"
+let description = "§2: correlated columns break independence estimates; competition bounds the damage"
+
+let run () =
+  Bench_common.section "Experiment correlation — correlated columns (§2's uncertainty)";
+  let db = Database.create ~pool_capacity:128 () in
+  let sensors = Rdb_workload.Datasets.sensors ~rows:40_000 db in
+  let tscan = Rdb_exec.Cost_model.tscan_cost sensors in
+  Printf.printf "SENSORS: %d rows; B = A +/- 200; Tscan cost %.1f\n\n"
+    (Table.row_count sensors) tscan;
+  let pred lo hi =
+    Predicate.And
+      [ Predicate.between "A" (Value.int lo) (Value.int hi);
+        Predicate.between "B" (Value.int lo) (Value.int hi) ]
+  in
+  let oracle p =
+    let m = Rdb_storage.Cost.create () in
+    let n = ref 0 in
+    Rdb_storage.Heap_file.iter (Table.heap sensors) m (fun _ row ->
+        if Predicate.eval p (Table.schema sensors) row then incr n);
+    !n
+  in
+  let card = float_of_int (Table.row_count sensors) in
+  let rows =
+    List.map
+      (fun (lo, hi) ->
+        let p = pred lo hi in
+        let actual = oracle p in
+        let sel = float_of_int (hi - lo + 1) /. 10_000.0 in
+        let independence = sel *. sel *. card in
+        Bench_common.flush_pool db;
+        let returned, dyn = R.run sensors (R.request p) in
+        Bench_common.flush_pool db;
+        let stat = SJ.run sensors p ~env:[] in
+        [
+          Printf.sprintf "[%d,%d]" lo hi;
+          string_of_int actual;
+          Bench_common.f1 independence;
+          string_of_int (List.length returned);
+          Bench_common.f1 dyn.R.total_cost;
+          Bench_common.f1 stat.SJ.cost;
+        ])
+      [ (2000, 2199); (3000, 3999); (1000, 6999) ]
+  in
+  Bench_common.table
+    ~header:
+      [ "A,B range"; "actual rows"; "independence predicts"; "returned";
+        "dynamic cost"; "static jscan cost" ]
+    rows;
+  Bench_common.subsection "paper checkpoints";
+  let p = pred 2000 2199 in
+  let actual = oracle p in
+  let independence = 0.02 *. 0.02 *. card in
+  Printf.printf
+    "independence underestimates the intersection by %.0fx (%d actual vs %.1f predicted): %b\n"
+    (float_of_int actual /. independence)
+    actual independence
+    (float_of_int actual > 10.0 *. independence);
+  Bench_common.flush_pool db;
+  let _, dyn = R.run sensors (R.request p) in
+  Printf.printf
+    "despite the broken estimate, the dynamic cost stays within 1.5x of the best single-index plan: %b\n"
+    (dyn.R.total_cost < 1.5 *. tscan);
+  Printf.printf "rows are exactly right regardless: %b\n"
+    (dyn.R.rows_delivered = actual)

@@ -1,0 +1,64 @@
+(* Figure 2.2 — Degradation of certainty.
+
+   The paper starts from an estimate "bell" with mean 0.2 and error
+   0.005 and shows how AND/OR chains (unknown correlation) destroy the
+   precision: one operator inflates the spread to the order of the
+   distance from the interval end; repetition produces L-shapes. *)
+
+open Rdb_dist
+
+let name = "fig2.2"
+let description = "Figure 2.2: degradation of certainty of a bell estimate (m=0.2, e=0.005)"
+
+let run () =
+  Bench_common.section
+    "Experiment fig2.2 — degradation of certainty (paper Figure 2.2)";
+  let bell = Dist.bell ~mean:0.2 ~stddev:0.005 () in
+  let anded n = Dist.chain ~op:(Dist.and_self ~corr:Dist.Unknown) n bell in
+  let ored n = Dist.chain ~op:(Dist.or_self ~corr:Dist.Unknown) n bell in
+  let cases =
+    [
+      ("X (the estimate)", bell);
+      ("&X", anded 1);
+      ("&&X", anded 2);
+      ("&&&X", anded 3);
+      ("|X", ored 1);
+      ("||X", ored 2);
+      ("|||X", ored 3);
+      ("|||||X", ored 5);
+      ("&|||X", Dist.and_self ~corr:Dist.Unknown (ored 3));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, d) ->
+        [
+          label;
+          Bench_common.f4 (Dist.mean d);
+          Bench_common.f4 (Dist.stddev d);
+          Bench_common.f1 (Dist.stddev d /. Dist.stddev bell);
+          Shape.classification_to_string (Shape.classify d);
+        ])
+      cases
+  in
+  Bench_common.table ~header:[ "operator"; "mean"; "stddev"; "spread x"; "shape" ] rows;
+  print_string
+    (Rdb_util.Ascii_plot.multi_plot ~width:64 ~height:12
+       ~title:"the bell explodes: X vs &X vs |||X"
+       [
+         ("X", Dist.density bell);
+         ("&X", Dist.density (anded 1));
+         ("|||X", Dist.density (ored 3));
+       ]);
+  Bench_common.subsection "paper checkpoints";
+  Printf.printf
+    "(1) one AND nullifies relative precision: spread grew %.0fx (>= 10x): %b\n"
+    (Dist.stddev (anded 1) /. Dist.stddev bell)
+    (Dist.stddev (anded 1) > 10.0 *. Dist.stddev bell);
+  Printf.printf "(2) ORing spreads the bell toward the center (mean %.3f > 0.2): %b\n"
+    (Dist.mean (ored 1))
+    (Dist.mean (ored 1) > 0.2);
+  Printf.printf "(3) repeated ANDing near the left end gives an L-shape: %b\n"
+    (Shape.classify (anded 3) = Shape.L_left);
+  Printf.printf "    repeated ORing ends L-right: %b\n"
+    (Shape.classify (ored 5) = Shape.L_right)

@@ -1,0 +1,59 @@
+(* §2 hyperbola-fit claims.
+
+   "Truncated hyperbolas fit &X with relative error 1/4, &&X with error
+   1/7, &&&X with error 1/23", where relative error is
+   max|p - h| / (max p - min p). *)
+
+open Rdb_dist
+
+let name = "hyperbola"
+let description = "Hyperbola fit errors for AND chains (paper: 1/4, 1/7, 1/23)"
+
+let run () =
+  Bench_common.section "Experiment hyperbola — truncated-hyperbola fits of AND chains";
+  let u = Dist.uniform () in
+  let cases =
+    [
+      ("&X", 1, 1.0 /. 4.0);
+      ("&&X", 2, 1.0 /. 7.0);
+      ("&&&X", 3, 1.0 /. 23.0);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, n, paper) ->
+        let d = Dist.chain ~op:(Dist.and_self ~corr:Dist.Unknown) n u in
+        let f = Hyperbola.fit d in
+        [
+          label;
+          Bench_common.f4 paper;
+          Bench_common.f4 f.Hyperbola.relative_error;
+          Printf.sprintf "%.2e" f.Hyperbola.b;
+          string_of_bool f.Hyperbola.mirrored;
+        ])
+      cases
+  in
+  Bench_common.table
+    ~header:[ "chain"; "paper error"; "measured error"; "fitted b"; "mirrored" ]
+    rows;
+  Bench_common.subsection "OR side (fitted through the mirror)";
+  let o = Dist.or_self ~corr:Dist.Unknown u in
+  let f = Hyperbola.fit o in
+  Printf.printf "|X: error %.4f, mirrored=%b\n" f.Hyperbola.relative_error
+    f.Hyperbola.mirrored;
+  Bench_common.subsection "paper checkpoint";
+  let errs =
+    List.map
+      (fun (_, n, _) ->
+        (Hyperbola.fit (Dist.chain ~op:(Dist.and_self ~corr:Dist.Unknown) n u))
+          .Hyperbola.relative_error)
+      cases
+  in
+  (match errs with
+  | [ e1; e2; e3 ] ->
+      Printf.printf
+        "errors comparable to the paper's and in the same small range: %b\n"
+        (e1 < 0.5 && e2 < 0.29 && e3 < 0.15);
+      Printf.printf "longer chains are at least as hyperbolic (e2, e3 << e1): %b\n"
+        (e2 < e1 && e3 < e1)
+  | _ -> ())

@@ -1,0 +1,104 @@
+(* Bechamel micro-benchmarks of the core data structures.
+
+   Wall-clock timings (monotonic clock, OLS on run count) for the
+   operations the optimizer leans on: B-tree inserts/lookups/estimates,
+   distribution algebra, RID-list tiers, bitmap probes, row codec. *)
+
+open Bechamel
+open Toolkit
+
+let name = "micro"
+let description = "bechamel micro-benchmarks of core operations"
+
+let make_btree n =
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 in
+  let t = Rdb_btree.Btree.create ~fanout:64 pool in
+  let m = Rdb_storage.Cost.create () in
+  let rng = Rdb_util.Prng.create ~seed:3 in
+  for i = 0 to n - 1 do
+    Rdb_btree.Btree.insert t m
+      [| Rdb_data.Value.int (Rdb_util.Prng.int rng 1_000_000) |]
+      (Rdb_data.Rid.make ~page:(i / 32) ~slot:(i mod 32))
+  done;
+  t
+
+let tests () =
+  let tree = make_btree 50_000 in
+  let meter = Rdb_storage.Cost.create () in
+  let rng = Rdb_util.Prng.create ~seed:9 in
+  let uniform = Rdb_dist.Dist.uniform ~bins:128 () in
+  let row =
+    [| Rdb_data.Value.int 42; Rdb_data.Value.str "benchmark-row"; Rdb_data.Value.float 3.14 |]
+  in
+  let encoded = Rdb_data.Row.encode row in
+  let bitmap = Rdb_rid.Bitmap.create ~bits:65536 in
+  for i = 0 to 999 do
+    Rdb_rid.Bitmap.add bitmap (Rdb_data.Rid.make ~page:i ~slot:0)
+  done;
+  let insert_pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 in
+  let insert_tree = Rdb_btree.Btree.create ~fanout:64 insert_pool in
+  let counter = ref 0 in
+  [
+    Test.make ~name:"btree.insert (50k tree)"
+      (Staged.stage (fun () ->
+           incr counter;
+           Rdb_btree.Btree.insert insert_tree meter
+             [| Rdb_data.Value.int !counter |]
+             (Rdb_data.Rid.make ~page:(!counter / 32) ~slot:(!counter mod 32))));
+    Test.make ~name:"btree.mem"
+      (Staged.stage (fun () ->
+           ignore
+             (Rdb_btree.Btree.mem tree meter
+                [| Rdb_data.Value.int (Rdb_util.Prng.int rng 1_000_000) |]
+                (Rdb_data.Rid.make ~page:0 ~slot:0))));
+    Test.make ~name:"btree.estimate (descent)"
+      (Staged.stage (fun () ->
+           let lo = Rdb_util.Prng.int rng 900_000 in
+           ignore
+             (Rdb_btree.Estimate.estimate_only tree meter
+                (Rdb_btree.Btree.range_incl
+                   [| Rdb_data.Value.int lo |]
+                   [| Rdb_data.Value.int (lo + 5000) |]))));
+    Test.make ~name:"dist.and_unknown (128 bins)"
+      (Staged.stage (fun () ->
+           ignore (Rdb_dist.Dist.and_self ~corr:Rdb_dist.Dist.Unknown uniform)));
+    Test.make ~name:"bitmap.mem"
+      (Staged.stage (fun () ->
+           ignore
+             (Rdb_rid.Bitmap.mem bitmap
+                (Rdb_data.Rid.make ~page:(Rdb_util.Prng.int rng 2000) ~slot:0))));
+    Test.make ~name:"row.encode+decode"
+      (Staged.stage (fun () -> ignore (Rdb_data.Row.decode (Rdb_data.Row.encode row))));
+    Test.make ~name:"row.decode"
+      (Staged.stage (fun () -> ignore (Rdb_data.Row.decode encoded)));
+    Test.make ~name:"yao.blocks"
+      (Staged.stage (fun () -> ignore (Rdb_util.Yao.blocks ~n:100_000 ~per_block:40 ~k:500)));
+  ]
+
+let run () =
+  Bench_common.section "Experiment micro — bechamel timings";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"rdb" ~fmt:"%s %s" (tests ())) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun test_name result acc ->
+        let time_ns =
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.sprintf "%.1f" est
+          | _ -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square result with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "-"
+        in
+        [ test_name; time_ns; r2 ] :: acc)
+      results []
+  in
+  let rows = List.sort compare rows in
+  Bench_common.table ~header:[ "operation"; "ns/run"; "r^2" ] rows

@@ -1,0 +1,142 @@
+(* §7 — the four retrieval tactics under early termination.
+
+   Total-time retrieval optimizes the complete run; fast-first
+   optimizes time-to-first-rows and early-termination cost; the sorted
+   tactic saves record fetches with a background filter; the index-only
+   tactic lets the covering Sscan and Jscan compete.  The sweep
+   measures the cost of fetching the first k rows and the full result
+   under each goal. *)
+
+open Rdb_data
+open Rdb_engine
+module R = Rdb_core.Retrieval
+module G = Rdb_core.Goal
+
+let name = "tactics"
+let description = "§7: the four competition tactics under early termination"
+
+let fetch_k table req k =
+  let c = R.open_ table req in
+  let got = ref 0 in
+  (try
+     while !got < k do
+       match R.fetch c with Some _ -> incr got | None -> raise Exit
+     done
+   with Exit -> ());
+  R.close c
+
+let run () =
+  Bench_common.section "Experiment tactics — fast-first / background-only / sorted / index-only";
+  let db = Database.create ~pool_capacity:128 () in
+  let orders = Rdb_workload.Datasets.orders ~rows:50_000 db in
+  let employees = Rdb_workload.Datasets.employees ~rows:30_000 db in
+
+  Bench_common.subsection "fast-first vs total-time: cost to first k rows (ORDERS)";
+  let pred =
+    Predicate.And
+      [ Predicate.( =% ) "CUSTOMER" (Value.int 3); Predicate.( <% ) "PRICE" (Value.int 3500) ]
+  in
+  let rows =
+    List.map
+      (fun k ->
+        Bench_common.flush_pool db;
+        let ff = fetch_k orders (R.request ~explicit_goal:G.Fast_first pred) k in
+        Bench_common.flush_pool db;
+        let tt = fetch_k orders (R.request ~explicit_goal:G.Total_time pred) k in
+        [
+          (if k = max_int then "all" else string_of_int k);
+          string_of_int ff.R.rows_delivered;
+          Bench_common.f1 ff.R.total_cost;
+          Bench_common.f1 tt.R.total_cost;
+          R.tactic_to_string ff.R.tactic;
+        ])
+      [ 1; 10; 100; max_int ]
+  in
+  Bench_common.table
+    ~header:[ "rows wanted"; "delivered"; "fast-first cost"; "total-time cost"; "ff tactic" ]
+    rows;
+
+  Bench_common.subsection "sorted tactic: background filter saves fetches (ORDERS, ORDER BY DAY)";
+  let spred =
+    Predicate.And
+      [ Predicate.( =% ) "PRODUCT" (Value.int 7); Predicate.( <% ) "PRICE" (Value.int 1500) ]
+  in
+  Bench_common.flush_pool db;
+  let _, with_filter =
+    R.run orders (R.request ~explicit_goal:G.Fast_first ~order_by:[ "DAY" ] spred)
+  in
+  (* Ablation: the same plan with the background neutered — a zero
+     switch ratio makes the two-stage criterion discard every scan at
+     its first check, so no filter is ever delivered. *)
+  Bench_common.flush_pool db;
+  let no_bgr_cfg =
+    {
+      R.default_config with
+      R.jscan = { Rdb_exec.Jscan.default_config with Rdb_exec.Jscan.switch_ratio = 0.0 };
+    }
+  in
+  let _, without_filter =
+    R.run ~config:no_bgr_cfg orders
+      (R.request ~explicit_goal:G.Fast_first ~order_by:[ "DAY" ] spred)
+  in
+  Printf.printf "with background filter:    cost %.1f (%s)\n" with_filter.R.total_cost
+    (R.tactic_to_string with_filter.R.tactic);
+  Printf.printf "background disabled:       cost %.1f\n" without_filter.R.total_cost;
+  Printf.printf "filter saves fetches: %b\n"
+    (with_filter.R.total_cost < without_filter.R.total_cost);
+
+  Bench_common.subsection "index-only tactic: covering Sscan vs Jscan (EMPLOYEES)";
+  let epred =
+    Predicate.And
+      [
+        Predicate.( =% ) "DEPT" (Value.int 3);
+        Predicate.between "SALARY" (Value.int 50_000) (Value.int 90_000);
+      ]
+  in
+  Bench_common.flush_pool db;
+  let _, io =
+    R.run employees (R.request ~projection:[ "DEPT"; "SALARY" ] epred)
+  in
+  Bench_common.flush_pool db;
+  let _, full =
+    R.run employees (R.request epred)
+  in
+  Printf.printf "projection within (DEPT,SALARY) index: cost %.1f (%s)\n" io.R.total_cost
+    (R.tactic_to_string io.R.tactic);
+  Printf.printf "SELECT * (fetch-needed):               cost %.1f (%s)\n" full.R.total_cost
+    (R.tactic_to_string full.R.tactic);
+  Printf.printf "index-only is cheaper: %b\n" (io.R.total_cost <= full.R.total_cost);
+
+  Bench_common.subsection "ablation: foreground/background speed ratio (fast-first, k=20)";
+  let ratio_rows =
+    List.map
+      (fun ratio ->
+        Bench_common.flush_pool db;
+        let config = { R.default_config with R.speed_ratio = ratio } in
+        let c = R.open_ ~config orders (R.request ~explicit_goal:G.Fast_first pred) in
+        let got = ref 0 in
+        (try
+           while !got < 20 do
+             match R.fetch c with Some _ -> incr got | None -> raise Exit
+           done
+         with Exit -> ());
+        let s = R.close c in
+        [ Bench_common.f2 ratio; Bench_common.f1 s.R.total_cost ])
+      [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+  in
+  Bench_common.table ~header:[ "fgr:bgr speed ratio"; "cost to 20 rows" ] ratio_rows;
+
+  Bench_common.subsection "paper checkpoints";
+  Bench_common.flush_pool db;
+  let ff1 = fetch_k orders (R.request ~explicit_goal:G.Fast_first pred) 10 in
+  Bench_common.flush_pool db;
+  let tt_all = fetch_k orders (R.request ~explicit_goal:G.Total_time pred) max_int in
+  Printf.printf "early termination is far cheaper than a full run (%.1f vs %.1f): %b\n"
+    ff1.R.total_cost tt_all.R.total_cost
+    (ff1.R.total_cost < tt_all.R.total_cost /. 2.0);
+  Bench_common.flush_pool db;
+  let ff_all = fetch_k orders (R.request ~explicit_goal:G.Fast_first pred) max_int in
+  Printf.printf
+    "fast-first read-to-end does not blow up vs total-time (%.1f vs %.1f): %b\n"
+    ff_all.R.total_cost tt_all.R.total_cost
+    (ff_all.R.total_cost < tt_all.R.total_cost *. 1.5)

@@ -1,0 +1,70 @@
+(* Benchmark harness: regenerates every quantitative artifact of the
+   paper (figures 2.1, 2.2, 5; the hyperbola-fit and §3 competition
+   numbers; the §4-§7 performance claims) plus ablations and bechamel
+   micro-benchmarks.
+
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe -- -l      # list experiments
+     dune exec bench/main.exe -- -e fig5 -e jscan   # run a subset *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    (Exp_fig21.name, Exp_fig21.description, Exp_fig21.run);
+    (Exp_fig22.name, Exp_fig22.description, Exp_fig22.run);
+    (Exp_hyperbola.name, Exp_hyperbola.description, Exp_hyperbola.run);
+    (Exp_competition.name, Exp_competition.description, Exp_competition.run);
+    (Exp_fig5.name, Exp_fig5.description, Exp_fig5.run);
+    (Exp_hostvar.name, Exp_hostvar.description, Exp_hostvar.run);
+    (Exp_jscan.name, Exp_jscan.description, Exp_jscan.run);
+    (Exp_tactics.name, Exp_tactics.description, Exp_tactics.run);
+    (Exp_goal.name, Exp_goal.description, Exp_goal.run);
+    (Exp_shortcut.name, Exp_shortcut.description, Exp_shortcut.run);
+    (Exp_sampling.name, Exp_sampling.description, Exp_sampling.run);
+    (Exp_orscan.name, Exp_orscan.description, Exp_orscan.run);
+    (Exp_histogram.name, Exp_histogram.description, Exp_histogram.run);
+    (Exp_correlation.name, Exp_correlation.description, Exp_correlation.run);
+    (Exp_interference.name, Exp_interference.description, Exp_interference.run);
+    (Exp_join.name, Exp_join.description, Exp_join.run);
+    (Exp_mixed.name, Exp_mixed.description, Exp_mixed.run);
+    (Exp_clustering.name, Exp_clustering.description, Exp_clustering.run);
+    (Exp_micro.name, Exp_micro.description, Exp_micro.run);
+  ]
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter (fun (n, d, _) -> Printf.printf "  %-12s %s\n" n d) experiments
+
+let main selected list_only =
+  if list_only then list_experiments ()
+  else begin
+    let to_run =
+      match selected with
+      | [] -> experiments
+      | names ->
+          List.filter_map
+            (fun n ->
+              match List.find_opt (fun (name, _, _) -> name = n) experiments with
+              | Some e -> Some e
+              | None ->
+                  Printf.eprintf "unknown experiment %S (use -l to list)\n" n;
+                  exit 2)
+            names
+    in
+    List.iter (fun (_, _, run) -> run ()) to_run;
+    print_newline ()
+  end
+
+open Cmdliner
+
+let selected =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "experiment" ] ~docv:"ID" ~doc:"Run only the given experiment(s).")
+
+let list_only = Arg.(value & flag & info [ "l"; "list" ] ~doc:"List experiments and exit.")
+
+let cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v (Cmd.info "rdb-bench" ~doc) Term.(const main $ selected $ list_only)
+
+let () = exit (Cmd.eval cmd)

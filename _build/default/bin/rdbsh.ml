@@ -1,0 +1,248 @@
+(* rdbsh — interactive SQL shell over the dynamic-optimization engine.
+
+   Usage: rdbsh [--demo] [--pool N] [-e SQL] [--file SCRIPT]
+
+   Statements may span lines and end with ';' (interactive mode reads
+   until the terminator).  Scripts are executed statement by
+   statement; '--' comments are ignored.
+
+   Meta commands:
+     .help              this text
+     .tables            list tables and indexes
+     .demo              load the demo datasets (FAMILIES, ORDERS, EMPLOYEES)
+     .set NAME VALUE    bind a host variable (:NAME), VALUE int or 'str'
+     .unset NAME        remove a binding
+     .params            show bindings
+     .quit              exit
+
+   Anything else is SQL; EXPLAIN SELECT ... shows the dynamic
+   optimizer's run-time decisions. *)
+
+open Rdb_data
+open Rdb_engine
+
+let params : (string * Value.t) list ref = ref []
+
+let print_table columns rows =
+  let header = columns in
+  let body = List.map (List.map Value.to_string) rows in
+  print_string (Rdb_util.Ascii_plot.table ~header body)
+
+let load_demo db =
+  if Database.find_table db "FAMILIES" = None then begin
+    ignore (Rdb_workload.Datasets.families db);
+    ignore (Rdb_workload.Datasets.orders db);
+    ignore (Rdb_workload.Datasets.employees db);
+    print_endline "demo datasets loaded: FAMILIES (20000), ORDERS (30000), EMPLOYEES (20000)"
+  end
+  else print_endline "demo datasets already loaded"
+
+let show_tables db =
+  List.iter
+    (fun t ->
+      Printf.printf "%s (%d rows, %d pages)\n" (Table.name t) (Table.row_count t)
+        (Table.page_count t);
+      List.iter
+        (fun idx ->
+          Printf.printf "  index %s (%s)\n" idx.Table.idx_name
+            (String.concat ", " idx.Table.key_columns))
+        (Table.indexes t))
+    (List.sort (fun a b -> compare (Table.name a) (Table.name b)) (Database.tables db))
+
+let parse_value s =
+  if String.length s >= 2 && s.[0] = '\'' && s.[String.length s - 1] = '\'' then
+    Value.str (String.sub s 1 (String.length s - 2))
+  else begin
+    match int_of_string_opt s with
+    | Some i -> Value.int i
+    | None -> (
+        match float_of_string_opt s with Some f -> Value.float f | None -> Value.str s)
+  end
+
+let run_sql db sql =
+  try
+    let r = Rdb_sql.Executor.execute_sql ~env:!params db sql in
+    (match r.Rdb_sql.Executor.message with
+    | Some m -> print_endline m
+    | None ->
+        if r.Rdb_sql.Executor.columns <> [] then
+          print_table r.Rdb_sql.Executor.columns r.Rdb_sql.Executor.rows;
+        List.iter
+          (fun (tbl, (s : Rdb_core.Retrieval.summary)) ->
+            Printf.printf "-- %s: %d rows, cost %.2f, %s, goal %s (%s)\n" tbl
+              s.Rdb_core.Retrieval.rows_delivered s.Rdb_core.Retrieval.total_cost
+              (Rdb_core.Retrieval.tactic_to_string s.Rdb_core.Retrieval.tactic)
+              (Rdb_core.Goal.to_string s.Rdb_core.Retrieval.goal)
+              s.Rdb_core.Retrieval.goal_provenance)
+          r.Rdb_sql.Executor.summaries)
+  with
+  | Rdb_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
+  | Rdb_sql.Lexer.Lex_error (m, p) -> Printf.printf "lex error at %d: %s\n" p m
+  | Rdb_sql.Executor.Execution_error m -> Printf.printf "error: %s\n" m
+  | Predicate.Unbound_param p ->
+      Printf.printf "error: unbound host variable :%s (use .set %s VALUE)\n" p p
+  | Invalid_argument m | Failure m -> Printf.printf "error: %s\n" m
+  | Not_found -> print_endline "error: not found"
+
+let meta db line =
+  match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+  | [ ".help" ] ->
+      print_endline
+        ".tables | .demo | .set NAME VALUE | .unset NAME | .params | .flush | .stats | \
+         .quit — else SQL (SELECT/INSERT/UPDATE/DELETE/CREATE/EXPLAIN)"
+  | [ ".tables" ] -> show_tables db
+  | [ ".demo" ] -> load_demo db
+  | [ ".flush" ] ->
+      Rdb_storage.Buffer_pool.flush (Database.pool db);
+      print_endline "buffer pool flushed"
+  | [ ".stats" ] ->
+      let pool = Database.pool db in
+      Printf.printf "buffer pool: %d/%d blocks resident\n"
+        (Rdb_storage.Buffer_pool.resident pool)
+        (Rdb_storage.Buffer_pool.capacity pool);
+      Printf.printf "lifetime charges: %s\n"
+        (Format.asprintf "%a" Rdb_storage.Cost.pp
+           (Rdb_storage.Buffer_pool.global_meter pool))
+  | [ ".params" ] ->
+      List.iter (fun (k, v) -> Printf.printf ":%s = %s\n" k (Value.to_string v)) !params
+  | [ ".set"; name; value ] ->
+      let name = String.uppercase_ascii name in
+      params := (name, parse_value value) :: List.remove_assoc name !params;
+      Printf.printf ":%s = %s\n" name (Value.to_string (List.assoc name !params))
+  | [ ".unset"; name ] ->
+      params := List.remove_assoc (String.uppercase_ascii name) !params;
+      print_endline "ok"
+  | _ -> print_endline "unknown meta command (.help)"
+
+(* Split a script into statements on ';' terminators, respecting
+   'single-quoted' strings and -- comments. *)
+let split_statements src =
+  let out = ref [] and buf = Buffer.create 128 in
+  let n = String.length src in
+  let i = ref 0 in
+  let flush () =
+    let s = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if s <> "" then out := s :: !out
+  in
+  while !i < n do
+    (match src.[!i] with
+    | '\'' ->
+        (* copy the string literal verbatim, including '' escapes *)
+        Buffer.add_char buf '\'';
+        incr i;
+        let rec copy () =
+          if !i < n then begin
+            Buffer.add_char buf src.[!i];
+            if src.[!i] = '\'' then begin
+              if !i + 1 < n && src.[!i + 1] = '\'' then begin
+                Buffer.add_char buf '\'';
+                i := !i + 2;
+                copy ()
+              end
+            end
+            else begin
+              incr i;
+              copy ()
+            end
+          end
+        in
+        copy ()
+    | '-' when !i + 1 < n && src.[!i + 1] = '-' ->
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done;
+        decr i
+    | ';' -> flush ()
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !out
+
+let run_script db src =
+  List.iter
+    (fun stmt ->
+      if String.length stmt > 0 && stmt.[0] = '.' then meta db stmt
+      else begin
+        let echo = if String.length stmt > 76 then String.sub stmt 0 73 ^ "..." else stmt in
+        Printf.printf "rdb> %s\n" echo;
+        let t0 = Unix.gettimeofday () in
+        run_sql db stmt;
+        Printf.printf "-- (%.1f ms)\n" (1000.0 *. (Unix.gettimeofday () -. t0))
+      end)
+    (split_statements src)
+
+let repl db =
+  print_endline "rdbsh — dynamic query optimization shell (.help for help)";
+  let pending = Buffer.create 128 in
+  let rec loop () =
+    print_string (if Buffer.length pending = 0 then "rdb> " else "...> ");
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let trimmed = String.trim line in
+        if Buffer.length pending = 0 && (trimmed = ".quit" || trimmed = ".exit") then ()
+        else if
+          Buffer.length pending = 0 && String.length trimmed > 0 && trimmed.[0] = '.'
+        then begin
+          meta db trimmed;
+          loop ()
+        end
+        else begin
+          Buffer.add_string pending line;
+          Buffer.add_char pending '\n';
+          let src = Buffer.contents pending in
+          (* Execute once the statement is terminated (or was a blank
+             line on an empty buffer). *)
+          if String.contains src ';' then begin
+            Buffer.clear pending;
+            List.iter (fun stmt -> run_sql db stmt) (split_statements src)
+          end
+          else if String.trim src = "" then Buffer.clear pending;
+          loop ()
+        end
+  in
+  loop ()
+
+let main demo pool commands script =
+  let db = Database.create ~pool_capacity:pool () in
+  if demo then load_demo db;
+  match (commands, script) with
+  | [], None -> repl db
+  | cmds, script ->
+      List.iter
+        (fun sql ->
+          Printf.printf "rdb> %s\n" sql;
+          if String.length sql > 0 && sql.[0] = '.' then meta db sql else run_sql db sql)
+        cmds;
+      (match script with
+      | Some path -> run_script db (In_channel.with_open_text path In_channel.input_all)
+      | None -> ())
+
+open Cmdliner
+
+let demo_flag =
+  Arg.(value & flag & info [ "demo" ] ~doc:"Load the demo datasets at startup.")
+
+let pool_opt =
+  Arg.(value & opt int 256 & info [ "pool" ] ~docv:"BLOCKS" ~doc:"Buffer pool capacity.")
+
+let exec_opt =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "execute" ] ~docv:"SQL" ~doc:"Execute a statement and exit.")
+
+let script_opt =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc:"Execute a SQL script and exit.")
+
+let cmd =
+  let doc = "SQL shell over the Rdb/VMS-style dynamic query optimizer" in
+  Cmd.v
+    (Cmd.info "rdbsh" ~doc)
+    Term.(const main $ demo_flag $ pool_opt $ exec_opt $ script_opt)
+
+let () = exit (Cmd.eval cmd)

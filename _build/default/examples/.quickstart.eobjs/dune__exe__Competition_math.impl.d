@@ -1,0 +1,1 @@
+examples/competition_math.ml: Array List Printf Rdb_core Rdb_util

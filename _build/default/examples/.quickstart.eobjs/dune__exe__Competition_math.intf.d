@@ -1,0 +1,1 @@
+examples/competition_math.mli:

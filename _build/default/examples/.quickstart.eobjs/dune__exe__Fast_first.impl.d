@@ -1,0 +1,1 @@
+examples/fast_first.ml: Database List Option Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_exec Rdb_storage Rdb_workload Value

@@ -1,0 +1,1 @@
+examples/host_variables.ml: Database List Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_storage Rdb_util Rdb_workload Value

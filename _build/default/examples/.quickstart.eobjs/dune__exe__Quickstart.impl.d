@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database List Option Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_exec Rdb_util Schema Table Value

@@ -1,0 +1,1 @@
+examples/skewed_orders.ml: Database List Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_exec Rdb_storage Rdb_util Rdb_workload Table Value

@@ -1,0 +1,1 @@
+examples/sql_tour.ml: List Printf Rdb_core Rdb_data Rdb_engine Rdb_sql Rdb_util String Value

@@ -1,0 +1,67 @@
+(* The §3 competition model as a playground.
+
+   Builds L-shaped cost distributions (truncated hyperbolas with half
+   their mass below a small knee), evaluates the paper's switch policy
+   against the traditional single-plan run, plots the expected cost as
+   a function of the switch point, and sweeps the L-shape knee to show
+   where competition pays the most.
+
+   Run with: dune exec examples/competition_math.exe *)
+
+module CM = Rdb_core.Competition_math
+
+let () =
+  let a1 = CM.l_shaped ~knee:10.0 ~cmax:1000.0 () in
+  let a2 = CM.l_shaped ~knee:8.0 ~cmax:1200.0 () in
+  let m1 = CM.mean a1 in
+  let c2 = CM.quantile a2 0.5 in
+  let m2 = CM.mean_below a2 c2 in
+  Printf.printf "two L-shaped plans: M1 = %.1f, M2 = %.1f; A2's knee c2 = %.1f (m2 = %.1f)\n\n"
+    m1 (CM.mean a2) c2 m2;
+
+  Printf.printf "traditional optimizer (run A1 to completion):      %.1f\n" m1;
+  Printf.printf "paper's formula (m2 + c2 + M1)/2:                  %.1f\n"
+    (0.5 *. (m2 +. c2 +. m1));
+  Printf.printf "evaluated knee-switch policy:                      %.1f\n"
+    (CM.switch_cost ~try_:a2 ~fallback:a1 ~switch_at:c2);
+  let tau, best = CM.optimal_switch ~try_:a2 ~fallback:a1 in
+  Printf.printf "optimal switch point (tau = %.1f):                 %.1f\n" tau best;
+  let speed, abandon, sim = CM.optimal_simultaneous ~a:a1 ~b:a2 in
+  Printf.printf "optimal simultaneous run (speed %.2f, abandon %.1f): %.1f\n\n" speed abandon
+    sim;
+
+  (* Expected cost as a function of the switch point. *)
+  let taus = Array.init 60 (fun i -> float_of_int (i + 1) *. 2.0) in
+  let costs = Array.map (fun t -> CM.switch_cost ~try_:a2 ~fallback:a1 ~switch_at:t) taus in
+  print_string
+    (Rdb_util.Ascii_plot.plot ~width:60 ~height:12
+       ~title:"expected cost vs switch point (x: tau = 2..120)"
+       ~x_label:"too-early switches waste A2's chance; too-late ones chase the L-tail"
+       costs);
+  print_newline ();
+
+  (* How the advantage scales with L-shape sharpness. *)
+  let header = [ "knee/cmax"; "traditional M1"; "knee switch"; "gain x" ] in
+  let rows =
+    List.map
+      (fun knee ->
+        let a = CM.l_shaped ~knee ~cmax:1000.0 () in
+        let b = CM.l_shaped ~knee ~cmax:1000.0 () in
+        let m = CM.mean a in
+        let k = CM.quantile b 0.5 in
+        let c = CM.switch_cost ~try_:b ~fallback:a ~switch_at:k in
+        [
+          Printf.sprintf "%.3f" (knee /. 1000.0);
+          Printf.sprintf "%.1f" m;
+          Printf.sprintf "%.1f" c;
+          Printf.sprintf "%.2f" (m /. c);
+        ])
+      [ 1.0; 5.0; 10.0; 50.0; 200.0; 450.0 ]
+  in
+  print_string (Rdb_util.Ascii_plot.table ~header rows);
+  print_endline
+    "\nThe sharper the L (smaller knee at equal mass), the more the switch\n\
+     policy wins; as the distribution flattens the advantage disappears —\n\
+     which is exactly why the paper first had to establish that real cost\n\
+     distributions are L-shaped (section 2) before proposing competition\n\
+     (section 3)."

@@ -1,0 +1,85 @@
+(* Fast-first vs total-time (§4, §7).
+
+   The same restriction is retrieved three ways:
+
+   - total-time goal, run to completion (background-only Jscan);
+   - fast-first goal, cursor closed after the first 10 rows — the
+     foreground borrows RIDs from the background and delivers
+     immediately;
+   - fast-first goal but the user keeps reading to the end — the
+     foreground is retired by competition and the background finishes
+     the job (no worst-case blowup, unlike a plain Fscan).
+
+   Run with: dune exec examples/fast_first.exe *)
+
+open Rdb_data
+open Rdb_engine
+module R = Rdb_core.Retrieval
+module G = Rdb_core.Goal
+
+let () =
+  let db = Database.create ~pool_capacity:128 () in
+  let orders = Rdb_workload.Datasets.orders ~rows:30000 db in
+  let pred =
+    Predicate.And
+      [
+        Predicate.( =% ) "CUSTOMER" (Value.int 2);
+        Predicate.( <% ) "PRICE" (Value.int 3000);
+      ]
+  in
+  let flush () = Rdb_storage.Buffer_pool.flush (Database.pool db) in
+
+  flush ();
+  let all, tt = R.run orders (R.request ~explicit_goal:G.Total_time pred) in
+  Printf.printf "total-time, full result: %d rows, cost %.1f, first row at %.1f (%s)\n"
+    (List.length all) tt.R.total_cost
+    (Option.value ~default:0.0 tt.R.cost_to_first_row)
+    (R.tactic_to_string tt.R.tactic);
+
+  flush ();
+  let c = R.open_ orders (R.request ~explicit_goal:G.Fast_first pred) in
+  let got = ref 0 in
+  (try
+     while !got < 10 do
+       match R.fetch c with Some _ -> incr got | None -> raise Exit
+     done
+   with Exit -> ());
+  let ff10 = R.close c in
+  Printf.printf "fast-first, stop after 10:  %d rows, cost %.1f, first row at %.1f (%s)\n"
+    ff10.R.rows_delivered ff10.R.total_cost
+    (Option.value ~default:0.0 ff10.R.cost_to_first_row)
+    (R.tactic_to_string ff10.R.tactic);
+
+  flush ();
+  let all_ff, ff = R.run orders (R.request ~explicit_goal:G.Fast_first pred) in
+  Printf.printf "fast-first, read to end:   %d rows, cost %.1f, first row at %.1f (%s)\n"
+    (List.length all_ff) ff.R.total_cost
+    (Option.value ~default:0.0 ff.R.cost_to_first_row)
+    (R.tactic_to_string ff.R.tactic);
+  print_newline ();
+  List.iter
+    (fun e ->
+      match e with
+      | Rdb_exec.Trace.Foreground_stopped _ | Rdb_exec.Trace.Final_stage _ ->
+          Printf.printf "  %s\n" (Rdb_exec.Trace.event_to_string e)
+      | _ -> ())
+    ff.R.trace;
+  print_newline ();
+
+  (* Sorted tactic: fast-first with a requested order.  DAY_IDX
+     delivers the order; the other indexes build a filter that saves
+     record fetches. *)
+  flush ();
+  let sorted_req =
+    R.request ~explicit_goal:G.Fast_first ~order_by:[ "DAY" ]
+      (Predicate.And
+         [
+           Predicate.( =% ) "PRODUCT" (Value.int 3);
+           Predicate.( <% ) "PRICE" (Value.int 2000);
+         ])
+  in
+  let rows, so = R.run orders sorted_req in
+  Printf.printf "ordered fast-first (ORDER BY DAY): %d rows, cost %.1f, first at %.1f (%s)\n"
+    (List.length rows) so.R.total_cost
+    (Option.value ~default:0.0 so.R.cost_to_first_row)
+    (R.tactic_to_string so.R.tactic)

@@ -1,0 +1,82 @@
+(* Quickstart: build a table, add indexes, and watch the dynamic
+   optimizer choose and switch strategies.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Rdb_data
+open Rdb_engine
+module R = Rdb_core.Retrieval
+
+let () =
+  (* A database is a buffer pool plus a catalog.  A small pool keeps
+     I/O costs honest: the data will not all fit in cache. *)
+  let db = Database.create ~pool_capacity:128 () in
+
+  let schema =
+    Schema.make
+      [
+        Schema.col "ID" Value.T_int;
+        Schema.col "AGE" Value.T_int;
+        Schema.col "CITY" Value.T_str;
+        Schema.col "INCOME" Value.T_int;
+      ]
+  in
+  let people = Database.create_table db ~name:"PEOPLE" schema in
+
+  let rng = Rdb_util.Prng.create ~seed:11 in
+  let cities = [| "nashua"; "boston"; "keene"; "salem" |] in
+  for i = 0 to 14_999 do
+    ignore
+      (Table.insert people
+         [|
+           Value.int i;
+           Value.int (Rdb_util.Prng.int rng 100);
+           Value.str (Rdb_util.Prng.choose rng cities);
+           Value.int (Rdb_util.Prng.int rng 150_000);
+         |])
+  done;
+  ignore (Table.create_index people ~name:"AGE_IDX" ~columns:[ "AGE" ] ());
+  ignore (Table.create_index people ~name:"INCOME_IDX" ~columns:[ "INCOME" ] ());
+  Printf.printf "PEOPLE: %d rows over %d pages, %d indexes\n\n" (Table.row_count people)
+    (Table.page_count people)
+    (List.length (Table.indexes people));
+
+  let show name req =
+    let rows, s = R.run people req in
+    Printf.printf "%s\n  -> %d rows, cost %.1f, tactic: %s\n" name (List.length rows)
+      s.R.total_cost
+      (R.tactic_to_string s.R.tactic);
+    List.iter
+      (fun e -> Printf.printf "     %s\n" (Rdb_exec.Trace.event_to_string e))
+      s.R.trace;
+    print_newline ()
+  in
+
+  let open Predicate in
+  (* A selective conjunction: Jscan intersects both indexes. *)
+  show "AGE in [30,32] AND INCOME < 20000"
+    (R.request (And [ between "AGE" (Value.int 30) (Value.int 32);
+                      "INCOME" <% Value.int 20_000 ]));
+
+  (* An unselective restriction: competition discards the index scans
+     and recommends the sequential scan. *)
+  show "AGE >= 5 (unselective)" (R.request ("AGE" >=% Value.int 5));
+
+  (* An impossible range cancels the retrieval in the initial stage. *)
+  show "AGE > 400 (empty)" (R.request ("AGE" >% Value.int 400));
+
+  (* Fast-first: open a cursor, take 5 rows, close.  The foreground
+     borrows RIDs from the background Jscan. *)
+  let req =
+    R.request ~explicit_goal:Rdb_core.Goal.Fast_first
+      (And [ "AGE" >=% Value.int 60; "INCOME" <% Value.int 40_000 ])
+  in
+  let c = R.open_ people req in
+  let rec take n = if n > 0 then (match R.fetch c with Some _ -> take (n - 1) | None -> ()) in
+  take 5;
+  let s = R.close c in
+  Printf.printf
+    "fast-first cursor, stopped after 5 rows\n  -> cost %.2f (first row at %.2f), tactic: %s\n"
+    s.R.total_cost
+    (Option.value ~default:0.0 s.R.cost_to_first_row)
+    (R.tactic_to_string s.R.tactic)

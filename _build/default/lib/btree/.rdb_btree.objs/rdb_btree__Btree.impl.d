@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Buffer_pool Cost Int Printf Rdb_data Rdb_storage Rdb_util Rid Value

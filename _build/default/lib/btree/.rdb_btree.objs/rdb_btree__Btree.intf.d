@@ -1,0 +1,1 @@
+lib/btree/btree.mli: Buffer_pool Cost Rdb_data Rdb_storage Rid Value

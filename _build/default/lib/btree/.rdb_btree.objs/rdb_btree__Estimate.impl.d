@@ -1,0 +1,1 @@
+lib/btree/estimate.ml: Array Btree Float Int List Rdb_util

@@ -1,0 +1,1 @@
+lib/btree/estimate.mli: Btree Cost Rdb_storage

@@ -1,0 +1,1 @@
+lib/btree/sampling.ml: Array Btree Int Rdb_data Rdb_util Rid

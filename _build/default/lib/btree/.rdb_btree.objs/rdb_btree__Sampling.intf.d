@@ -1,0 +1,1 @@
+lib/btree/sampling.mli: Btree Cost Rdb_data Rdb_storage Rdb_util Rid

@@ -1,0 +1,615 @@
+open Rdb_data
+open Rdb_storage
+module Dynarray = Rdb_util.Dynarray
+
+type key = Value.t array
+
+type entry = key * Rid.t
+
+(* Prefix-lexicographic: a shorter key equal on its length compares
+   equal, so partial keys act as range bounds over composite keys. *)
+let compare_key (a : key) (b : key) =
+  let n = Int.min (Array.length a) (Array.length b) in
+  let rec loop i =
+    if i >= n then 0
+    else begin
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+    end
+  in
+  loop 0
+
+let compare_entry ((ka, ra) : entry) ((kb, rb) : entry) =
+  let c = compare_key ka kb in
+  if c <> 0 then c else Rid.compare ra rb
+
+type node = Leaf of leaf | Internal of internal
+
+and leaf = { leaf_id : int; entries : entry Dynarray.t; mutable next : leaf option }
+
+and internal = {
+  node_id : int;
+  seps : entry Dynarray.t; (* seps.(i) = minimum entry of children.(i+1) *)
+  children : node Dynarray.t;
+  mutable total : int;
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  file : int;
+  f : int;
+  mutable root : node;
+  mutable next_block : int;
+}
+
+let node_total = function
+  | Leaf l -> Dynarray.length l.entries
+  | Internal n -> n.total
+
+let node_id = function Leaf l -> l.leaf_id | Internal n -> n.node_id
+
+let create ?(fanout = 64) pool =
+  if fanout < 3 then invalid_arg "Btree.create: fanout < 3";
+  let t =
+    {
+      pool;
+      file = Buffer_pool.fresh_file pool;
+      f = fanout;
+      root = Leaf { leaf_id = 0; entries = Dynarray.create (); next = None };
+      next_block = 1;
+    }
+  in
+  t
+
+let fanout t = t.f
+let file_id t = t.file
+
+let fresh_block t =
+  let id = t.next_block in
+  t.next_block <- id + 1;
+  id
+
+let touch t meter node = Buffer_pool.touch t.pool meter { file = t.file; index = node_id node }
+
+let written t meter node = Buffer_pool.write t.pool meter { file = t.file; index = node_id node }
+
+let cardinality t = node_total t.root
+
+let rec height_of = function
+  | Leaf _ -> 1
+  | Internal n -> 1 + height_of (Dynarray.get n.children 0)
+
+let height t = height_of t.root
+
+let rec fold_nodes f acc node =
+  let acc = f acc node in
+  match node with
+  | Leaf _ -> acc
+  | Internal n -> Dynarray.fold_left (fold_nodes f) acc n.children
+
+let node_count t = fold_nodes (fun acc _ -> acc + 1) 0 t.root
+
+let leaf_count t =
+  fold_nodes (fun acc n -> match n with Leaf _ -> acc + 1 | Internal _ -> acc) 0 t.root
+
+let avg_leaf_entries t =
+  let leaves = leaf_count t in
+  if leaves = 0 then 0.0 else float_of_int (cardinality t) /. float_of_int leaves
+
+let avg_internal_children t =
+  let internals, children =
+    fold_nodes
+      (fun (i, c) n ->
+        match n with
+        | Leaf _ -> (i, c)
+        | Internal nd -> (i + 1, c + Dynarray.length nd.children))
+      (0, 0) t.root
+  in
+  if internals = 0 then float_of_int (Int.max 1 (cardinality t))
+  else float_of_int children /. float_of_int internals
+
+(* --- search helpers ------------------------------------------------ *)
+
+let dyn_lower_bound cmp d x =
+  let lo = ref 0 and hi = ref (Dynarray.length d) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp (Dynarray.get d mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let dyn_upper_bound cmp d x =
+  let lo = ref 0 and hi = ref (Dynarray.length d) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp (Dynarray.get d mid) x <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child slot an entry belongs to. *)
+let child_of_entry (n : internal) e = dyn_upper_bound compare_entry n.seps e
+
+(* --- insertion ------------------------------------------------------ *)
+
+type split = { sep : entry; right : node }
+
+let dyn_insert_at d i x =
+  (* Shift-right insert preserving order. *)
+  Dynarray.push d x;
+  let len = Dynarray.length d in
+  let j = ref (len - 1) in
+  while !j > i do
+    Dynarray.set d !j (Dynarray.get d (!j - 1));
+    decr j
+  done;
+  Dynarray.set d i x
+
+let dyn_remove_at d i =
+  let len = Dynarray.length d in
+  for j = i to len - 2 do
+    Dynarray.set d j (Dynarray.get d (j + 1))
+  done;
+  (match Dynarray.pop d with Some _ -> () | None -> assert false)
+
+let split_dyn d at =
+  let right = Dynarray.create () in
+  let len = Dynarray.length d in
+  for i = at to len - 1 do
+    Dynarray.push right (Dynarray.get d i)
+  done;
+  Dynarray.truncate d at;
+  right
+
+let rec insert_node t meter node e : bool * split option =
+  touch t meter node;
+  match node with
+  | Leaf l ->
+      let pos = dyn_lower_bound compare_entry l.entries e in
+      if pos < Dynarray.length l.entries && compare_entry (Dynarray.get l.entries pos) e = 0
+      then (false, None)
+      else begin
+        dyn_insert_at l.entries pos e;
+        written t meter node;
+        if Dynarray.length l.entries <= t.f then (true, None)
+        else begin
+          let at = Dynarray.length l.entries / 2 in
+          let right_entries = split_dyn l.entries at in
+          let right = { leaf_id = fresh_block t; entries = right_entries; next = l.next } in
+          l.next <- Some right;
+          written t meter (Leaf right);
+          (true, Some { sep = Dynarray.get right.entries 0; right = Leaf right })
+        end
+      end
+  | Internal n ->
+      let i = child_of_entry n e in
+      let inserted, split = insert_node t meter (Dynarray.get n.children i) e in
+      if inserted then n.total <- n.total + 1;
+      (match split with
+      | None -> ()
+      | Some { sep; right } ->
+          dyn_insert_at n.seps i sep;
+          dyn_insert_at n.children (i + 1) right;
+          written t meter node);
+      if Dynarray.length n.children <= t.f then (inserted, None)
+      else begin
+        (* Split internal: middle separator moves up. *)
+        let mid = Dynarray.length n.seps / 2 in
+        let up = Dynarray.get n.seps mid in
+        let right_seps = split_dyn n.seps (mid + 1) in
+        (match Dynarray.pop n.seps with Some _ -> () | None -> assert false);
+        let right_children = split_dyn n.children (mid + 1) in
+        let right_total =
+          Dynarray.fold_left (fun acc c -> acc + node_total c) 0 right_children
+        in
+        let right =
+          { node_id = fresh_block t; seps = right_seps; children = right_children;
+            total = right_total }
+        in
+        n.total <- n.total - right_total;
+        written t meter node;
+        written t meter (Internal right);
+        (inserted, Some { sep = up; right = Internal right })
+      end
+
+let insert t meter k rid =
+  let inserted, split = insert_node t meter t.root (k, rid) in
+  ignore inserted;
+  match split with
+  | None -> ()
+  | Some { sep; right } ->
+      let children = Dynarray.create () in
+      Dynarray.push children t.root;
+      Dynarray.push children right;
+      let seps = Dynarray.create () in
+      Dynarray.push seps sep;
+      let root =
+        { node_id = fresh_block t; seps; children;
+          total = node_total t.root + node_total right }
+      in
+      t.root <- Internal root;
+      written t meter t.root
+
+(* --- deletion ------------------------------------------------------- *)
+
+let leaf_min t = t.f / 2
+let internal_min_children t = (t.f + 1) / 2
+
+let rec delete_node t meter node e : bool =
+  touch t meter node;
+  match node with
+  | Leaf l ->
+      let pos = dyn_lower_bound compare_entry l.entries e in
+      if pos < Dynarray.length l.entries && compare_entry (Dynarray.get l.entries pos) e = 0
+      then begin
+        dyn_remove_at l.entries pos;
+        written t meter node;
+        true
+      end
+      else false
+  | Internal n ->
+      let i = child_of_entry n e in
+      let child = Dynarray.get n.children i in
+      let removed = delete_node t meter child e in
+      if removed then begin
+        n.total <- n.total - 1;
+        rebalance t meter n i
+      end;
+      removed
+
+and underfull t = function
+  | Leaf l -> Dynarray.length l.entries < leaf_min t
+  | Internal n -> Dynarray.length n.children < internal_min_children t
+
+and rebalance t meter (n : internal) i =
+  let child = Dynarray.get n.children i in
+  if underfull t child then begin
+    let left = if i > 0 then Some (Dynarray.get n.children (i - 1)) else None in
+    let right =
+      if i + 1 < Dynarray.length n.children then Some (Dynarray.get n.children (i + 1))
+      else None
+    in
+    let can_lend = function
+      | Some (Leaf l) -> Dynarray.length l.entries > leaf_min t
+      | Some (Internal m) -> Dynarray.length m.children > internal_min_children t
+      | None -> false
+    in
+    if can_lend right then borrow_right t meter n i
+    else if can_lend left then borrow_left t meter n i
+    else if right <> None then merge t meter n i
+    else if left <> None then merge t meter n (i - 1)
+  end
+
+and borrow_right t meter n i =
+  match (Dynarray.get n.children i, Dynarray.get n.children (i + 1)) with
+  | Leaf l, Leaf r ->
+      let e = Dynarray.get r.entries 0 in
+      dyn_remove_at r.entries 0;
+      Dynarray.push l.entries e;
+      Dynarray.set n.seps i (Dynarray.get r.entries 0);
+      written t meter (Leaf l);
+      written t meter (Leaf r)
+  | Internal l, Internal r ->
+      let sep = Dynarray.get n.seps i in
+      let moved_child = Dynarray.get r.children 0 in
+      let moved_total = node_total moved_child in
+      dyn_remove_at r.children 0;
+      let new_sep = Dynarray.get r.seps 0 in
+      dyn_remove_at r.seps 0;
+      Dynarray.push l.seps sep;
+      Dynarray.push l.children moved_child;
+      l.total <- l.total + moved_total;
+      r.total <- r.total - moved_total;
+      Dynarray.set n.seps i new_sep;
+      written t meter (Internal l);
+      written t meter (Internal r)
+  | _ -> assert false
+
+and borrow_left t meter n i =
+  match (Dynarray.get n.children (i - 1), Dynarray.get n.children i) with
+  | Leaf l, Leaf r ->
+      let e =
+        match Dynarray.pop l.entries with Some e -> e | None -> assert false
+      in
+      dyn_insert_at r.entries 0 e;
+      Dynarray.set n.seps (i - 1) e;
+      written t meter (Leaf l);
+      written t meter (Leaf r)
+  | Internal l, Internal r ->
+      let sep = Dynarray.get n.seps (i - 1) in
+      let moved_child =
+        match Dynarray.pop l.children with Some c -> c | None -> assert false
+      in
+      let moved_total = node_total moved_child in
+      let new_sep =
+        match Dynarray.pop l.seps with Some s -> s | None -> assert false
+      in
+      dyn_insert_at r.seps 0 sep;
+      dyn_insert_at r.children 0 moved_child;
+      l.total <- l.total - moved_total;
+      r.total <- r.total + moved_total;
+      Dynarray.set n.seps (i - 1) new_sep;
+      written t meter (Internal l);
+      written t meter (Internal r)
+  | _ -> assert false
+
+and merge t meter n i =
+  (* Merge child i+1 into child i; drop sep i. *)
+  (match (Dynarray.get n.children i, Dynarray.get n.children (i + 1)) with
+  | Leaf l, Leaf r ->
+      Dynarray.append l.entries r.entries;
+      l.next <- r.next;
+      written t meter (Leaf l)
+  | Internal l, Internal r ->
+      Dynarray.push l.seps (Dynarray.get n.seps i);
+      Dynarray.append l.seps r.seps;
+      Dynarray.append l.children r.children;
+      l.total <- l.total + r.total;
+      written t meter (Internal l)
+  | _ -> assert false);
+  dyn_remove_at n.seps i;
+  dyn_remove_at n.children (i + 1)
+
+let delete t meter k rid =
+  let removed = delete_node t meter t.root (k, rid) in
+  (match t.root with
+  | Internal n when Dynarray.length n.children = 1 -> t.root <- Dynarray.get n.children 0
+  | _ -> ());
+  removed
+
+let mem t meter k rid =
+  let e = (k, rid) in
+  let rec go node =
+    touch t meter node;
+    match node with
+    | Leaf l ->
+        let pos = dyn_lower_bound compare_entry l.entries e in
+        pos < Dynarray.length l.entries
+        && compare_entry (Dynarray.get l.entries pos) e = 0
+    | Internal n -> go (Dynarray.get n.children (child_of_entry n e))
+  in
+  go t.root
+
+(* --- ranges --------------------------------------------------------- *)
+
+type bound = Incl of key | Excl of key | Unbounded
+
+type range = { lo : bound; hi : bound }
+
+let full_range = { lo = Unbounded; hi = Unbounded }
+
+let range_incl lo hi = { lo = Incl lo; hi = Incl hi }
+
+let point_range k = { lo = Incl k; hi = Incl k }
+
+let key_ge_lo bound k =
+  match bound with
+  | Unbounded -> true
+  | Incl lo -> compare_key k lo >= 0
+  | Excl lo -> compare_key k lo > 0
+
+let key_le_hi bound k =
+  match bound with
+  | Unbounded -> true
+  | Incl hi -> compare_key k hi <= 0
+  | Excl hi -> compare_key k hi < 0
+
+let in_range r k = key_ge_lo r.lo k && key_le_hi r.hi k
+
+(* Leftmost child that may hold an in-range key. *)
+let low_child (n : internal) lo =
+  match lo with
+  | Unbounded -> 0
+  | Incl k ->
+      (* count separators with sep.key strictly below k *)
+      let rec count i =
+        if i >= Dynarray.length n.seps then i
+        else if compare_key (fst (Dynarray.get n.seps i)) k < 0 then count (i + 1)
+        else i
+      in
+      count 0
+  | Excl k ->
+      let rec count i =
+        if i >= Dynarray.length n.seps then i
+        else if compare_key (fst (Dynarray.get n.seps i)) k <= 0 then count (i + 1)
+        else i
+      in
+      count 0
+
+(* --- cursor --------------------------------------------------------- *)
+
+type cursor = {
+  tree : t;
+  meter : Cost.t;
+  range : range;
+  mutable leaf : leaf option;
+  mutable pos : int;
+  mutable served : int;
+  mutable exhausted : bool;
+}
+
+let descend_to_leaf t meter lo =
+  let rec go node =
+    touch t meter node;
+    match node with
+    | Leaf l -> l
+    | Internal n -> go (Dynarray.get n.children (low_child n lo))
+  in
+  go t.root
+
+let cursor t meter range =
+  let l = descend_to_leaf t meter range.lo in
+  let pos =
+    (* First entry satisfying the low bound within this leaf. *)
+    let rec find i =
+      if i >= Dynarray.length l.entries then i
+      else if key_ge_lo range.lo (fst (Dynarray.get l.entries i)) then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  { tree = t; meter; range; leaf = Some l; pos; served = 0; exhausted = false }
+
+let rec next c =
+  if c.exhausted then None
+  else begin
+    match c.leaf with
+    | None ->
+        c.exhausted <- true;
+        None
+    | Some l ->
+        if c.pos >= Dynarray.length l.entries then begin
+          c.leaf <- l.next;
+          c.pos <- 0;
+          (match l.next with
+          | Some nl -> touch c.tree c.meter (Leaf nl)
+          | None -> ());
+          next c
+        end
+        else begin
+          let k, rid = Dynarray.get l.entries c.pos in
+          c.pos <- c.pos + 1;
+          if not (key_ge_lo c.range.lo k) then next c
+          else if key_le_hi c.range.hi k then begin
+            Cost.charge_cpu c.meter 1;
+            c.served <- c.served + 1;
+            Some (k, rid)
+          end
+          else begin
+            c.exhausted <- true;
+            None
+          end
+        end
+  end
+
+let consumed c = c.served
+
+(* --- multi-range cursor ---------------------------------------------- *)
+
+type multi_cursor = {
+  mtree : t;
+  mmeter : Cost.t;
+  mutable pending : range list;
+  mutable active : cursor option;
+  mutable mserved : int;
+}
+
+let multi_cursor t meter ranges =
+  { mtree = t; mmeter = meter; pending = ranges; active = None; mserved = 0 }
+
+let rec multi_next mc =
+  match mc.active with
+  | Some c -> (
+      match next c with
+      | Some e ->
+          mc.mserved <- mc.mserved + 1;
+          Some e
+      | None ->
+          mc.active <- None;
+          multi_next mc)
+  | None -> (
+      match mc.pending with
+      | [] -> None
+      | r :: rest ->
+          mc.pending <- rest;
+          mc.active <- Some (cursor mc.mtree mc.mmeter r);
+          multi_next mc)
+
+let multi_consumed mc = mc.mserved
+
+let iter_range t meter range f =
+  let c = cursor t meter range in
+  let rec loop () =
+    match next c with
+    | None -> ()
+    | Some (k, rid) ->
+        f k rid;
+        loop ()
+  in
+  loop ()
+
+let count_range t meter range =
+  let n = ref 0 in
+  iter_range t meter range (fun _ _ -> incr n);
+  !n
+
+(* --- structural access ---------------------------------------------- *)
+
+type node_ref = node
+
+type node_view =
+  | Leaf_view of (key * Rid.t) array
+  | Internal_view of key array * node_ref array
+
+let root t = t.root
+
+let view t meter node =
+  touch t meter node;
+  match node with
+  | Leaf l -> Leaf_view (Dynarray.to_array l.entries)
+  | Internal n ->
+      Internal_view
+        (Array.map fst (Dynarray.to_array n.seps), Dynarray.to_array n.children)
+
+let subtree_count _t node = node_total node
+
+(* --- validation ------------------------------------------------------ *)
+
+let self_check t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check node ~is_root ~depth =
+    match node with
+    | Leaf l ->
+        let n = Dynarray.length l.entries in
+        if (not is_root) && n < leaf_min t then fail "underfull leaf (%d)" n
+        else if n > t.f then fail "overfull leaf (%d)" n
+        else begin
+          let ok = ref (Ok depth) in
+          for i = 1 to n - 1 do
+            if
+              compare_entry (Dynarray.get l.entries (i - 1)) (Dynarray.get l.entries i)
+              >= 0
+            then ok := fail "leaf entries out of order"
+          done;
+          !ok
+        end
+    | Internal n ->
+        let c = Dynarray.length n.children in
+        if Dynarray.length n.seps <> c - 1 then fail "sep/children arity mismatch"
+        else if (not is_root) && c < internal_min_children t then
+          fail "underfull internal (%d)" c
+        else if c > t.f then fail "overfull internal (%d)" c
+        else begin
+          let expected_total =
+            Dynarray.fold_left (fun acc ch -> acc + node_total ch) 0 n.children
+          in
+          if expected_total <> n.total then
+            fail "bad total: stored %d actual %d" n.total expected_total
+          else begin
+            let rec loop i acc_depth =
+              if i >= c then Ok acc_depth
+              else begin
+                match check (Dynarray.get n.children i) ~is_root:false ~depth:(depth + 1) with
+                | Error e -> Error e
+                | Ok d ->
+                    if acc_depth <> -1 && d <> acc_depth then fail "uneven depth"
+                    else begin
+                      (* separator correctness: first entry of child i is
+                         >= sep (i-1) and < sep i *)
+                      if i > 0 then begin
+                        let sep = Dynarray.get n.seps (i - 1) in
+                        let min_e = min_entry (Dynarray.get n.children i) in
+                        if compare_entry min_e sep < 0 then fail "separator too large"
+                        else loop (i + 1) d
+                      end
+                      else loop (i + 1) d
+                    end
+              end
+            in
+            loop 0 (-1)
+          end
+        end
+  and min_entry = function
+    | Leaf l -> Dynarray.get l.entries 0
+    | Internal n -> min_entry (Dynarray.get n.children 0)
+  in
+  match check t.root ~is_root:true ~depth:0 with Ok _ -> Ok () | Error e -> Error e

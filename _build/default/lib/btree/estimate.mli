@@ -1,0 +1,38 @@
+(** Range cardinality estimation by descent to the split node
+    (paper §5, Figure 5).
+
+    Descend from the root along the path of nodes whose child span for
+    the range is a single child.  The lowest such node is the *split
+    node* at level [l] (leaves are level 1).  With [k+1] children of
+    the split node touching the range (the two edge children counted
+    as one, i.e. [k]), the estimate is
+
+      RangeRIDs ≈ k * f^(l-1)
+
+    with [f] the average tree fanout.  At [l = 1] the in-range leaf
+    entries are counted exactly.  The estimate costs one root-to-split
+    path of node reads — it is "fast, well suited for small ranges,
+    and always up-to-date". *)
+
+open Rdb_storage
+
+type result = {
+  estimate : float;  (** estimated number of in-range entries *)
+  exact : bool;  (** true when the split node was a leaf (l = 1) *)
+  split_level : int;  (** l; leaves are 1 *)
+  k : int;  (** effective child count at the split node *)
+  nodes_visited : int;  (** estimation cost in node reads *)
+}
+
+val range : Btree.t -> Cost.t -> Btree.range -> result
+
+val ranges : Btree.t -> Cost.t -> Btree.range list -> result
+(** Sum of per-range descents (disjoint ranges assumed); exact iff
+    every component was exact. *)
+
+val estimate_only : Btree.t -> Cost.t -> Btree.range -> float
+(** Just the estimate. *)
+
+val selectivity : Btree.t -> Cost.t -> Btree.range -> float
+(** Estimate divided by the tree cardinality, clamped to [0,1];
+    0 for an empty tree. *)

@@ -1,0 +1,1 @@
+lib/core/competition_math.ml: Array Float List Rdb_dist

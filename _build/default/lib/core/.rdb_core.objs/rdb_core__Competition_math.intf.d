@@ -1,0 +1,1 @@
+lib/core/competition_math.mli: Rdb_dist

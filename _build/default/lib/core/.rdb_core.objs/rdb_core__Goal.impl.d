@@ -1,0 +1,1 @@
+lib/core/goal.ml: Format Printf

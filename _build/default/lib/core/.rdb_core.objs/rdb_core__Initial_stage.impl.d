@@ -1,0 +1,1 @@
+lib/core/initial_stage.ml: Btree Estimate Float List Option Predicate Range_extract Rdb_btree Rdb_engine Rdb_exec Scan Table Trace

@@ -1,0 +1,1 @@
+lib/core/initial_stage.mli: Cost Predicate Rdb_engine Rdb_exec Rdb_storage Scan Table Trace

@@ -1,0 +1,1 @@
+lib/core/retrieval.mli: Goal Jscan Predicate Rdb_data Rdb_engine Rdb_exec Rid Row Table Trace

@@ -1,0 +1,1 @@
+lib/core/static_jscan.ml: Cost Estimate Final_stage Float Int Jscan List Predicate Range_extract Rdb_btree Rdb_data Rdb_engine Rdb_exec Rdb_storage Row Scan Table Trace Tscan

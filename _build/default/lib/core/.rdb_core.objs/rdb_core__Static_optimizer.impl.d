@@ -1,0 +1,1 @@
+lib/core/static_optimizer.ml: Btree Cost Cost_model Estimate Fscan List Predicate Range_extract Rdb_btree Rdb_data Rdb_engine Rdb_exec Rdb_storage Rdb_util Row Scan Sscan Table Trace Tscan

@@ -1,0 +1,1 @@
+lib/core/static_optimizer.mli: Predicate Rdb_data Rdb_engine Rdb_exec Row Table Trace

@@ -1,0 +1,33 @@
+(** Optimization goals and their inference (§4).
+
+    Retrieval is optimized either for total time or for fast delivery
+    of the first few records.  The goal for a retrieval node is set by
+    the node from the enclosing plan that immediately controls it:
+    EXISTS and LIMIT TO n ROWS request fast-first; SORT and aggregates
+    request total-time; otherwise the user-specified (OPTIMIZE FOR) or
+    default goal applies. *)
+
+type t = Fast_first | Total_time
+
+type controlling_node =
+  | Exists
+  | Limit of int
+  | Sort
+  | Aggregate
+  | Cursor  (** plain cursor / top-level result delivery *)
+
+val of_controlling_node : controlling_node -> t option
+(** The paper's rule; [Cursor] gives [None] (no inference). *)
+
+val resolve :
+  ?explicit:t -> ?context:controlling_node -> default:t -> unit -> t * string
+(** Inference first, then the explicit user request, then the default.
+    Returns the goal and a human-readable provenance string.
+
+    Note the paper's precedence: the §4 example sets total-time for
+    table B "because of SORT needed for distinct" even under an
+    explicit OPTIMIZE FOR TOTAL TIME — the controlling node wins over
+    the user request. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

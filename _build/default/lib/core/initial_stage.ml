@@ -1,0 +1,208 @@
+open Rdb_btree
+open Rdb_engine
+open Rdb_exec
+
+type classified = {
+  jscan_candidates : Scan.candidate list;
+  self_sufficient : Scan.candidate list;
+  order_index : Scan.candidate option;
+  union_candidates : Scan.candidate list;
+  estimation_nodes : int;
+}
+
+type decision = No_rows of string | Arranged of classified
+
+let shortcut_threshold = 16
+
+(* Indexes in the adaptively-remembered order, unremembered ones
+   last in catalog order. *)
+let indexes_in_preferred_order table =
+  let preferred = Table.preferred_order table in
+  let all = Table.indexes table in
+  let remembered =
+    List.filter_map (fun n -> List.find_opt (fun i -> i.Table.idx_name = n) all) preferred
+  in
+  let rest = List.filter (fun i -> not (List.mem i.Table.idx_name preferred)) all in
+  remembered @ rest
+
+(* One bounded candidate per OR disjunct, when every disjunct has a
+   usable index (the §7 "covering ORs" extension).  A disjunct whose
+   best estimate is exactly zero contributes no rows and is dropped. *)
+let union_candidates table meter trace ~restriction ~nodes_spent =
+  match Predicate.simplify restriction with
+  | Predicate.Or branches when List.length branches <= 8 ->
+      let branch_candidate branch =
+        let best = ref None in
+        List.iter
+          (fun idx ->
+            let extraction = Range_extract.for_index branch idx in
+            if extraction.Range_extract.bounded then begin
+              let r = Estimate.ranges idx.Table.tree meter extraction.Range_extract.ranges in
+              nodes_spent := !nodes_spent + r.Estimate.nodes_visited;
+              Trace.emit trace
+                (Trace.Estimated
+                   {
+                     index = idx.Table.idx_name;
+                     estimate = r.Estimate.estimate;
+                     exact = r.Estimate.exact;
+                     nodes = r.Estimate.nodes_visited;
+                   });
+              let cand =
+                {
+                  Scan.idx;
+                  ranges = extraction.Range_extract.ranges;
+                  residual = extraction.Range_extract.residual;
+                  est = r.Estimate.estimate;
+                  est_exact = r.Estimate.exact;
+                }
+              in
+              match !best with
+              | Some b when b.Scan.est <= cand.Scan.est -> ()
+              | _ -> best := Some cand
+            end)
+          (Table.indexes table);
+        !best
+      in
+      let rec all_covered acc = function
+        | [] -> Some (List.rev acc)
+        | branch :: rest -> (
+            match branch_candidate branch with
+            | None -> None
+            | Some c when c.Scan.est_exact && c.Scan.est = 0.0 ->
+                (* empty disjunct: contributes nothing *)
+                all_covered acc rest
+            | Some c -> all_covered (c :: acc) rest)
+      in
+      (match all_covered [] branches with
+      | Some cands ->
+          (* cheap certain scans first: abandonment decisions then rest
+             on maximum evidence per unit of scan investment *)
+          List.stable_sort (fun a b -> Float.compare a.Scan.est b.Scan.est) cands
+      | None -> [])
+  | _ -> []
+
+let run table meter trace ~restriction ~needed_columns ~order_by =
+  let indexes = indexes_in_preferred_order table in
+  let nodes_spent = ref 0 in
+  let stop_estimating = ref false in
+  let empty_found = ref None in
+  let candidates =
+    List.filter_map
+      (fun idx ->
+        let extraction = Range_extract.for_index restriction idx in
+        if not extraction.Range_extract.bounded then None
+        else begin
+          let est, exact =
+            if !stop_estimating then
+              (* Pessimistic default: unknown, assume the whole index. *)
+              (float_of_int (Btree.cardinality idx.Table.tree), false)
+            else begin
+              let r = Estimate.ranges idx.Table.tree meter extraction.Range_extract.ranges in
+              nodes_spent := !nodes_spent + r.Estimate.nodes_visited;
+              Trace.emit trace
+                (Trace.Estimated
+                   {
+                     index = idx.Table.idx_name;
+                     estimate = r.Estimate.estimate;
+                     exact = r.Estimate.exact;
+                     nodes = r.Estimate.nodes_visited;
+                   });
+              if r.Estimate.exact && r.Estimate.estimate = 0.0 then
+                empty_found := Some idx.Table.idx_name
+              else if r.Estimate.estimate <= float_of_int shortcut_threshold then begin
+                stop_estimating := true;
+                Trace.emit trace
+                  (Trace.Shortcut_estimation
+                     { index = idx.Table.idx_name; estimate = r.Estimate.estimate })
+              end;
+              (r.Estimate.estimate, r.Estimate.exact)
+            end
+          in
+          Some
+            {
+              Scan.idx;
+              ranges = extraction.Range_extract.ranges;
+              residual = extraction.Range_extract.residual;
+              est;
+              est_exact = exact;
+            }
+        end)
+      indexes
+  in
+  match !empty_found with
+  | Some index ->
+      Trace.emit trace (Trace.Empty_range { index });
+      No_rows ("empty range on index " ^ index)
+  | None ->
+      let by_est =
+        List.stable_sort (fun a b -> Float.compare a.Scan.est b.Scan.est) candidates
+      in
+      (* Remember this order for the next retrieval's estimation. *)
+      Table.set_preferred_order table
+        (List.map (fun c -> c.Scan.idx.Table.idx_name) by_est);
+      let covering_columns = needed_columns in
+      let bounded_covering =
+        List.filter
+          (fun c -> Table.index_covers c.Scan.idx ~columns:covering_columns)
+          by_est
+      in
+      (* A covering index is a useful Sscan even without a bounded
+         range: a full index scan can beat the table scan. *)
+      let unbounded_covering =
+        List.filter_map
+          (fun idx ->
+            let already =
+              List.exists (fun c -> c.Scan.idx.Table.idx_name = idx.Table.idx_name) by_est
+            in
+            if already || not (Table.index_covers idx ~columns:covering_columns) then None
+            else
+              Some
+                {
+                  Scan.idx;
+                  ranges = [ Btree.full_range ];
+                  residual = Predicate.simplify restriction;
+                  est = float_of_int (Btree.cardinality idx.Table.tree);
+                  est_exact = true;
+                })
+          (Table.indexes table)
+      in
+      let self_sufficient = bounded_covering @ unbounded_covering in
+      let order_index =
+        if order_by = [] then None
+        else begin
+          (* Among order-providing indexes prefer the narrowest range. *)
+          let providers =
+            List.filter
+              (fun c -> Table.index_provides_order c.Scan.idx ~order:order_by)
+              by_est
+          in
+          match providers with
+          | c :: _ -> Some c
+          | [] ->
+              (* An unbounded order index is still useful for order. *)
+              List.find_opt
+                (fun i -> Table.index_provides_order i ~order:order_by)
+                (Table.indexes table)
+              |> Option.map (fun idx ->
+                     {
+                       Scan.idx;
+                       ranges = [ Btree.full_range ];
+                       residual = Predicate.simplify restriction;
+                       est = float_of_int (Btree.cardinality idx.Table.tree);
+                       est_exact = false;
+                     })
+        end
+      in
+      let union_candidates =
+        if by_est = [] && self_sufficient = [] then
+          union_candidates table meter trace ~restriction ~nodes_spent
+        else []
+      in
+      Arranged
+        {
+          jscan_candidates = by_est;
+          self_sufficient;
+          order_index;
+          union_candidates;
+          estimation_nodes = !nodes_spent;
+        }

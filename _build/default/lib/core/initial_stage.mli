@@ -1,0 +1,49 @@
+(** The initial retrieval stage (§5).
+
+    Arranges the available useful indexes into single or combined scan
+    strategies: classifies each index (self-sufficient / fetch-needed /
+    order-needed), estimates range cardinalities by descent-to-split,
+    orders Jscan candidates by ascending estimate, and applies the
+    paper's estimation-cost reductions:
+
+    - indexes are estimated in the order the *previous* retrieval found
+      best (stored on the table);
+    - when a very short range is found, estimation of the remaining
+      indexes stops (their estimate defaults, pessimistically, to the
+      index cardinality);
+    - an exactly-empty range cancels the whole retrieval: "end of
+      data" at once. *)
+
+open Rdb_engine
+open Rdb_exec
+open Rdb_storage
+
+type classified = {
+  jscan_candidates : Scan.candidate list;  (** ascending estimate *)
+  self_sufficient : Scan.candidate list;  (** covering, ascending cost *)
+  order_index : Scan.candidate option;  (** best order-providing index *)
+  union_candidates : Scan.candidate list;
+      (** one bounded candidate per OR disjunct when the whole
+          restriction is a covered OR (the §7 union extension); empty
+          otherwise.  Exactly-empty disjuncts are dropped. *)
+  estimation_nodes : int;  (** node reads spent estimating *)
+}
+
+type decision =
+  | No_rows of string  (** empty range: cancel all stages *)
+  | Arranged of classified
+
+val shortcut_threshold : int
+(** Estimates at or below this stop further estimation (16). *)
+
+val run :
+  Table.t ->
+  Cost.t ->
+  Trace.t ->
+  restriction:Predicate.t ->
+  needed_columns:string list ->
+  order_by:string list ->
+  decision
+(** [restriction] must be bound.  [needed_columns] is every column the
+    query must produce or examine (for self-sufficiency).  Updates the
+    table's preferred index order as a side effect. *)

@@ -1,0 +1,653 @@
+open Rdb_data
+open Rdb_engine
+open Rdb_exec
+open Rdb_rid
+open Rdb_storage
+
+type config = {
+  jscan : Jscan.config;
+  fgr_buffer_cap : int;
+  fgr_waste_cap : float;
+  speed_ratio : float;
+  default_goal : Goal.t;
+}
+
+let default_config =
+  {
+    jscan = Jscan.default_config;
+    fgr_buffer_cap = 512;
+    fgr_waste_cap = 0.5;
+    speed_ratio = 1.0;
+    default_goal = Goal.Total_time;
+  }
+
+type request = {
+  restriction : Predicate.t;
+  env : Predicate.env;
+  explicit_goal : Goal.t option;
+  context : Goal.controlling_node option;
+  order_by : string list;
+  projection : string list option;
+}
+
+let request ?(env = []) ?explicit_goal ?context ?(order_by = []) ?projection restriction =
+  { restriction; env; explicit_goal; context; order_by; projection }
+
+type tactic_kind =
+  | Static_tscan
+  | Static_sscan
+  | Static_fscan
+  | Background_only
+  | Fast_first_tactic
+  | Sorted_tactic
+  | Index_only_tactic
+  | Union_tactic
+  | Cancelled
+
+let tactic_to_string = function
+  | Static_tscan -> "static Tscan"
+  | Static_sscan -> "static Sscan"
+  | Static_fscan -> "static Fscan"
+  | Background_only -> "background-only (Jscan)"
+  | Fast_first_tactic -> "fast-first (Fgr borrows from Jscan)"
+  | Sorted_tactic -> "sorted (Fscan + Jscan filter)"
+  | Index_only_tactic -> "index-only (Sscan vs Jscan)"
+  | Union_tactic -> "union (one scan per OR disjunct)"
+  | Cancelled -> "cancelled (empty range)"
+
+type summary = {
+  rows_delivered : int;
+  total_cost : float;
+  cost_to_first_row : float option;
+  tactic : tactic_kind;
+  goal : Goal.t;
+  goal_provenance : string;
+  trace : Trace.event list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Stage-2 machinery shared by background-bearing tactics              *)
+(* ------------------------------------------------------------------ *)
+
+type stage2 = S_final of Final_stage.t | S_tscan of Tscan.t
+
+type fast_first = {
+  ff_jscan : Jscan.t;
+  ff_delivered : (Rid.t, unit) Hashtbl.t;
+  mutable ff_active : bool;  (** foreground still running *)
+  mutable ff_wasted : int;  (** fetches rejected by the restriction *)
+  mutable ff_stage2 : stage2 option;
+}
+
+type sorted_t = {
+  so_fscan : Fscan.t;
+  so_jscan : Jscan.t;
+  mutable so_bgr_active : bool;
+}
+
+type index_only = {
+  io_sscan : Sscan.t;
+  io_cand : Scan.candidate;
+  io_jscan : Jscan.t;
+  io_delivered : (Rid.t, unit) Hashtbl.t;
+  mutable io_bgr_active : bool;
+  mutable io_stage2 : stage2 option;
+}
+
+type bg_only = { bg_jscan : Jscan.t; mutable bg_stage2 : stage2 option }
+
+type union_t = { un_scan : Uscan.t; mutable un_stage2 : stage2 option }
+
+type machine =
+  | M_tscan of Tscan.t
+  | M_sscan of Sscan.t
+  | M_fscan of Fscan.t
+  | M_bg_only of bg_only
+  | M_fast_first of fast_first
+  | M_sorted of sorted_t
+  | M_index_only of index_only
+  | M_union of union_t
+  | M_empty
+
+type cursor = {
+  table : Table.t;
+  cfg : config;
+  trace : Trace.t;
+  tactic : tactic_kind;
+  goal : Goal.t;
+  goal_provenance : string;
+  restriction : Predicate.t;  (** bound *)
+  machine : machine;
+  fgr_meter : Cost.t;
+  bgr_meter : Cost.t;
+  est_meter : Cost.t;
+  order_ids : int array;  (** requested order, as column positions *)
+  mutable sorted_rows : (Rid.t * Row.t) list option;  (** materialized post-sort *)
+  needs_sort : bool;
+  mutable delivered : int;
+  mutable first_row_cost : float option;
+  mutable closed : bool;
+  mutable summary : summary option;
+}
+
+let total_cost c =
+  Cost.total c.fgr_meter +. Cost.total c.bgr_meter +. Cost.total c.est_meter
+
+(* ------------------------------------------------------------------ *)
+(* Tactic selection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let covering_sscan_choice table (classified : Initial_stage.classified) =
+  (* Cheapest self-sufficient scan, compared against Tscan. *)
+  match classified.Initial_stage.self_sufficient with
+  | [] -> None
+  | ss ->
+      let cost c = Cost_model.index_scan_cost c.Scan.idx ~entries:c.Scan.est in
+      let best =
+        List.fold_left (fun acc c -> if cost c < cost acc then c else acc) (List.hd ss) ss
+      in
+      if cost best <= Cost_model.tscan_cost table then Some best else None
+
+let fetch_needed_candidates classified =
+  classified.Initial_stage.jscan_candidates
+
+let decide table goal ~order_by ~(classified : Initial_stage.classified) trace =
+  let emit tactic reason =
+    Trace.emit trace (Trace.Tactic_chosen { tactic = tactic_to_string tactic; reason });
+    tactic
+  in
+  let cands = fetch_needed_candidates classified in
+  let best_ss = covering_sscan_choice table classified in
+  let order_idx = classified.Initial_stage.order_index in
+  match (goal, order_by, order_idx) with
+  | Goal.Fast_first, _ :: _, Some oi
+    when not (Table.index_covers oi.Scan.idx ~columns:(Predicate.columns oi.Scan.residual))
+         || best_ss = None ->
+      (* Order-providing fetch-needed index: sorted tactic if any other
+         index can build a filter, else classical Fscan. *)
+      let others =
+        List.filter (fun c -> c.Scan.idx.Table.idx_name <> oi.Scan.idx.Table.idx_name) cands
+      in
+      if others = [] then emit Static_fscan "only the order-needed index is useful"
+      else emit Sorted_tactic "order-delivering Fscan with filter-delivering Jscan"
+  | _ -> (
+      match (best_ss, cands) with
+      | Some ss, others when List.exists (fun c -> c.Scan.idx.Table.idx_name <> ss.Scan.idx.Table.idx_name) others ->
+          emit Index_only_tactic "self-sufficient Sscan competes with Jscan"
+      | Some _, _ -> emit Static_sscan "single useful self-sufficient index"
+      | None, [] ->
+          if classified.Initial_stage.union_candidates <> [] then
+            emit Union_tactic "every OR disjunct has a usable index"
+          else emit Static_tscan "no useful index"
+      | None, _ :: _ -> (
+          match goal with
+          | Goal.Total_time -> emit Background_only "total-time with fetch-needed indexes"
+          | Goal.Fast_first -> emit Fast_first_tactic "fast-first with fetch-needed indexes"))
+
+(* ------------------------------------------------------------------ *)
+(* Machine construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sscan_candidate_of classified table =
+  match covering_sscan_choice table classified with
+  | Some c -> c
+  | None -> (
+      match classified.Initial_stage.self_sufficient with
+      | c :: _ -> c
+      | [] -> invalid_arg "sscan_candidate_of: no self-sufficient index")
+
+let build_machine cursor_cfg table trace restriction
+    ~(classified : Initial_stage.classified) ~fgr_meter ~bgr_meter tactic =
+  match tactic with
+  | Cancelled -> M_empty
+  | Static_tscan -> M_tscan (Tscan.create table fgr_meter restriction)
+  | Static_sscan ->
+      let cand = sscan_candidate_of classified table in
+      M_sscan (Sscan.create table fgr_meter cand ~restriction)
+  | Static_fscan -> (
+      match classified.Initial_stage.order_index with
+      | Some oi -> M_fscan (Fscan.create table fgr_meter oi ~restriction)
+      | None -> (
+          match classified.Initial_stage.jscan_candidates with
+          | c :: _ -> M_fscan (Fscan.create table fgr_meter c ~restriction)
+          | [] -> M_tscan (Tscan.create table fgr_meter restriction)))
+  | Background_only ->
+      let jscan =
+        Jscan.create table bgr_meter cursor_cfg.jscan trace
+          ~candidates:classified.Initial_stage.jscan_candidates
+      in
+      M_bg_only { bg_jscan = jscan; bg_stage2 = None }
+  | Fast_first_tactic ->
+      let jscan =
+        Jscan.create table bgr_meter cursor_cfg.jscan trace
+          ~candidates:classified.Initial_stage.jscan_candidates
+      in
+      M_fast_first
+        {
+          ff_jscan = jscan;
+          ff_delivered = Hashtbl.create 64;
+          ff_active = true;
+          ff_wasted = 0;
+          ff_stage2 = None;
+        }
+  | Sorted_tactic -> (
+      match classified.Initial_stage.order_index with
+      | None -> invalid_arg "sorted tactic without order index"
+      | Some oi ->
+          let others =
+            List.filter
+              (fun c -> c.Scan.idx.Table.idx_name <> oi.Scan.idx.Table.idx_name)
+              classified.Initial_stage.jscan_candidates
+          in
+          (* The background Jscan builds a *filter*: it competes
+             against the foreground Fscan's remaining cost (scan plus
+             one fetch per in-range entry), not against a Tscan. *)
+          let fscan_cost =
+            Cost_model.index_scan_cost oi.Scan.idx ~entries:oi.Scan.est
+            +. Cost_model.key_order_fetch_cost table oi.Scan.idx ~entries:oi.Scan.est
+          in
+          let jscan_cfg =
+            {
+              cursor_cfg.jscan with
+              Jscan.filter_only = true;
+              initial_guaranteed_best = Some fscan_cost;
+            }
+          in
+          let jscan = Jscan.create table bgr_meter jscan_cfg trace ~candidates:others in
+          M_sorted
+            {
+              so_fscan = Fscan.create table fgr_meter oi ~restriction;
+              so_jscan = jscan;
+              so_bgr_active = true;
+            })
+  | Union_tactic ->
+      let cfg =
+        {
+          Uscan.default_config with
+          Uscan.switch_ratio = cursor_cfg.jscan.Jscan.switch_ratio;
+          memory_budget = cursor_cfg.jscan.Jscan.memory_budget;
+        }
+      in
+      let us =
+        Uscan.create table bgr_meter cfg trace
+          ~disjuncts:classified.Initial_stage.union_candidates
+      in
+      M_union { un_scan = us; un_stage2 = None }
+  | Index_only_tactic ->
+      let cand = sscan_candidate_of classified table in
+      let others =
+        List.filter
+          (fun c -> c.Scan.idx.Table.idx_name <> cand.Scan.idx.Table.idx_name)
+          classified.Initial_stage.jscan_candidates
+      in
+      let jscan = Jscan.create table bgr_meter cursor_cfg.jscan trace ~candidates:others in
+      M_index_only
+        {
+          io_sscan = Sscan.create table fgr_meter cand ~restriction;
+          io_cand = cand;
+          io_jscan = jscan;
+          io_delivered = Hashtbl.create 64;
+          io_bgr_active = true;
+          io_stage2 = None;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Stepping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let step_stage2 table restriction delivered stage2 =
+  match stage2 with
+  | S_final f -> Final_stage.step f
+  | S_tscan t -> (
+      match Tscan.step t with
+      | Scan.Deliver (rid, _) when Hashtbl.mem delivered rid -> Scan.Continue
+      | s ->
+          ignore table;
+          ignore restriction;
+          s)
+
+let make_stage2 c outcome ~delivered =
+  let exclude rid = Hashtbl.mem delivered rid in
+  match outcome with
+  | Jscan.Rid_list rids ->
+      Trace.emit c.trace
+        (Trace.Final_stage { rids = Array.length rids; filtered_delivered = Hashtbl.length delivered });
+      S_final
+        (Final_stage.create c.table c.bgr_meter ~rids ~restriction:c.restriction ~exclude)
+  | Jscan.Recommend_tscan _ -> S_tscan (Tscan.create c.table c.bgr_meter c.restriction)
+
+let fgr_cost c = Cost.total c.fgr_meter
+let bgr_cost c = Cost.total c.bgr_meter
+
+let prefer_fgr c = fgr_cost c <= bgr_cost c *. c.cfg.speed_ratio
+
+(* One quantum of work; Scan.step result. *)
+let rec step_machine c =
+  match c.machine with
+  | M_empty -> Scan.Done
+  | M_tscan t -> Tscan.step t
+  | M_sscan s -> Sscan.step s
+  | M_fscan f -> Fscan.step f
+  | M_bg_only bg -> (
+      match bg.bg_stage2 with
+      | Some s2 -> step_stage2 c.table c.restriction (Hashtbl.create 0) s2
+      | None -> (
+          match Jscan.step bg.bg_jscan with
+          | `Working -> Scan.Continue
+          | `Finished outcome ->
+              bg.bg_stage2 <- Some (make_stage2 c outcome ~delivered:(Hashtbl.create 0));
+              Scan.Continue))
+  | M_union un -> (
+      match un.un_stage2 with
+      | Some s2 -> step_stage2 c.table c.restriction (Hashtbl.create 0) s2
+      | None -> (
+          match Uscan.step un.un_scan with
+          | `Working -> Scan.Continue
+          | `Finished outcome ->
+              let as_jscan =
+                match outcome with
+                | Uscan.Rid_list rids -> Jscan.Rid_list rids
+                | Uscan.Recommend_tscan r -> Jscan.Recommend_tscan r
+              in
+              un.un_stage2 <- Some (make_stage2 c as_jscan ~delivered:(Hashtbl.create 0));
+              Scan.Continue))
+  | M_fast_first ff -> step_fast_first c ff
+  | M_sorted so -> step_sorted c so
+  | M_index_only io -> step_index_only c io
+
+and step_fast_first c ff =
+  match ff.ff_stage2 with
+  | Some s2 -> step_stage2 c.table c.restriction ff.ff_delivered s2
+  | None ->
+      let jscan_finished =
+        match Jscan.step ff.ff_jscan with
+        | `Finished o -> Some o
+        | `Working -> None
+      in
+      (* The background is always advanced above (it is also the RID
+         source); the foreground additionally works when its spent cost
+         lags the background's. *)
+      (match jscan_finished with
+      | Some outcome ->
+          if ff.ff_active then
+            Trace.emit c.trace (Trace.Foreground_stopped { reason = "background completed" });
+          ff.ff_active <- false;
+          ff.ff_stage2 <- Some (make_stage2 c outcome ~delivered:ff.ff_delivered);
+          Scan.Continue
+      | None ->
+          if ff.ff_active && prefer_fgr c then begin
+            match Jscan.borrow ff.ff_jscan with
+            | None -> Scan.Continue
+            | Some rid ->
+                if Hashtbl.mem ff.ff_delivered rid then Scan.Continue
+                else begin
+                  match Heap_file.fetch (Table.heap c.table) c.fgr_meter rid with
+                  | None -> Scan.Continue
+                  | Some row ->
+                      if Predicate.eval c.restriction (Table.schema c.table) row then begin
+                        Hashtbl.replace ff.ff_delivered rid ();
+                        if Hashtbl.length ff.ff_delivered >= c.cfg.fgr_buffer_cap then begin
+                          ff.ff_active <- false;
+                          Trace.emit c.trace
+                            (Trace.Foreground_stopped { reason = "foreground buffer overflow" })
+                        end;
+                        Scan.Deliver (rid, row)
+                      end
+                      else begin
+                        ff.ff_wasted <- ff.ff_wasted + 1;
+                        let wasted_cost =
+                          float_of_int ff.ff_wasted *. Cost.default_weights.Cost.physical_read
+                        in
+                        if
+                          wasted_cost
+                          > c.cfg.fgr_waste_cap *. Jscan.guaranteed_best ff.ff_jscan
+                        then begin
+                          ff.ff_active <- false;
+                          Trace.emit c.trace
+                            (Trace.Foreground_stopped
+                               { reason = "wasted fetches exceed competition cap" })
+                        end;
+                        Scan.Continue
+                      end
+                end
+          end
+          else Scan.Continue)
+
+and step_sorted c so =
+  (* Foreground always makes progress (it is the only deliverer); the
+     background advances while its cost lags. *)
+  if so.so_bgr_active && not (prefer_fgr c) then begin
+    (match Jscan.step so.so_jscan with
+    | `Working -> ()
+    | `Finished (Jscan.Rid_list rids) ->
+        so.so_bgr_active <- false;
+        Fscan.set_filter so.so_fscan (Filter.of_sorted_array rids)
+    | `Finished (Jscan.Recommend_tscan _) -> so.so_bgr_active <- false);
+    Scan.Continue
+  end
+  else begin
+    match Fscan.step so.so_fscan with
+    | Scan.Done ->
+        if so.so_bgr_active then begin
+          so.so_bgr_active <- false;
+          Trace.emit c.trace (Trace.Background_stopped { reason = "foreground finished first" })
+        end;
+        Scan.Done
+    | s -> s
+  end
+
+and step_index_only c io =
+  match io.io_stage2 with
+  | Some s2 -> step_stage2 c.table c.restriction io.io_delivered s2
+  | None ->
+      if io.io_bgr_active && not (prefer_fgr c) then begin
+        (match Jscan.step io.io_jscan with
+        | `Working -> ()
+        | `Finished (Jscan.Recommend_tscan _) ->
+            io.io_bgr_active <- false;
+            Trace.emit c.trace
+              (Trace.Background_stopped { reason = "Jscan found no competitive list" })
+        | `Finished (Jscan.Rid_list rids) ->
+            io.io_bgr_active <- false;
+            (* Is the "sure" RID-list retrieval cheaper than finishing
+               the Sscan? *)
+            let remaining =
+              Float.max 0.0 (io.io_cand.Scan.est -. float_of_int (Sscan.delivered io.io_sscan))
+            in
+            let sscan_rest = Cost_model.index_scan_cost io.io_cand.Scan.idx ~entries:remaining in
+            let list_cost = Cost_model.rid_fetch_cost c.table ~k:(Array.length rids) in
+            if list_cost < sscan_rest then begin
+              Trace.emit c.trace
+                (Trace.Foreground_stopped
+                   { reason = "Jscan delivered a small sure list; Sscan abandoned" });
+              Trace.emit c.trace
+                (Trace.Final_stage
+                   { rids = Array.length rids; filtered_delivered = Hashtbl.length io.io_delivered });
+              io.io_stage2 <-
+                Some
+                  (S_final
+                     (Final_stage.create c.table c.bgr_meter ~rids ~restriction:c.restriction
+                        ~exclude:(fun rid -> Hashtbl.mem io.io_delivered rid)))
+            end);
+        Scan.Continue
+      end
+      else begin
+        match Sscan.step io.io_sscan with
+        | Scan.Deliver (rid, row) ->
+            Hashtbl.replace io.io_delivered rid ();
+            if Hashtbl.length io.io_delivered >= c.cfg.fgr_buffer_cap && io.io_bgr_active
+            then begin
+              (* Foreground buffer overflow: the safer Sscan wins,
+                 Jscan terminates (§7 index-only). *)
+              io.io_bgr_active <- false;
+              Trace.emit c.trace
+                (Trace.Background_stopped
+                   { reason = "foreground buffer overflow; Sscan is the safer strategy" })
+            end;
+            Scan.Deliver (rid, row)
+        | s -> s
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Cursor API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let needed_columns table (req : request) restriction =
+  let projection =
+    match req.projection with
+    | Some cols -> cols
+    | None -> List.map (fun c -> c.Schema.name) (Schema.columns (Table.schema table))
+  in
+  let all = projection @ Predicate.columns restriction @ req.order_by in
+  List.sort_uniq compare all
+
+let open_ ?(config = default_config) table (req : request) =
+  let trace = Trace.create () in
+  let fgr_meter = Cost.create () in
+  let bgr_meter = Cost.create () in
+  let est_meter = Cost.create () in
+  let restriction = Predicate.simplify (Predicate.bind req.restriction req.env) in
+  let goal, goal_provenance =
+    Goal.resolve ?explicit:req.explicit_goal ?context:req.context
+      ~default:config.default_goal ()
+  in
+  let schema = Table.schema table in
+  let order_ids = Array.of_list (List.map (Schema.index_of schema) req.order_by) in
+  let tactic, machine, classified_order =
+    if restriction = Predicate.False then (Cancelled, M_empty, false)
+    else begin
+      match
+        Initial_stage.run table est_meter trace ~restriction
+          ~needed_columns:(needed_columns table req restriction)
+          ~order_by:req.order_by
+      with
+      | Initial_stage.No_rows _ -> (Cancelled, M_empty, false)
+      | Initial_stage.Arranged classified ->
+          let tactic = decide table goal ~order_by:req.order_by ~classified trace in
+          let machine =
+            build_machine config table trace restriction ~classified ~fgr_meter
+              ~bgr_meter tactic
+          in
+          let ordered_delivery =
+            match tactic with
+            | Sorted_tactic | Static_fscan -> (
+                (* Ordered iff driven by an order-providing index. *)
+                match classified.Initial_stage.order_index with
+                | Some oi -> Table.index_provides_order oi.Scan.idx ~order:req.order_by
+                | None -> false)
+            | Static_sscan -> (
+                match classified.Initial_stage.self_sufficient with
+                | c :: _ -> Table.index_provides_order c.Scan.idx ~order:req.order_by
+                | [] -> false)
+            | _ -> false
+          in
+          (tactic, machine, ordered_delivery)
+    end
+  in
+  let needs_sort = req.order_by <> [] && not classified_order in
+  {
+    table;
+    cfg = config;
+    trace;
+    tactic;
+    goal;
+    goal_provenance;
+    restriction;
+    machine;
+    fgr_meter;
+    bgr_meter;
+    est_meter;
+    order_ids;
+    sorted_rows = None;
+    needs_sort;
+    delivered = 0;
+    first_row_cost = None;
+    closed = false;
+    summary = None;
+  }
+
+let rec fetch_raw c =
+  match step_machine c with
+  | Scan.Deliver (rid, row) -> Some (rid, row)
+  | Scan.Continue -> fetch_raw c
+  | Scan.Done -> None
+
+let fetch_pair c =
+  if c.closed then None
+  else begin
+    let pair =
+      if c.needs_sort then begin
+        (match c.sorted_rows with
+        | None ->
+            (* Materialize and sort (the SORT node that made this goal
+               total-time in the first place). *)
+            let rows = ref [] in
+            let rec drain () =
+              match fetch_raw c with
+              | Some p ->
+                  rows := p :: !rows;
+                  drain ()
+              | None -> ()
+            in
+            drain ();
+            let arr = Array.of_list (List.rev !rows) in
+            Array.sort (fun (_, a) (_, b) -> Row.compare_at c.order_ids a b) arr;
+            Cost.charge_cpu c.fgr_meter (Array.length arr);
+            c.sorted_rows <- Some (Array.to_list arr)
+        | Some _ -> ());
+        match c.sorted_rows with
+        | Some (p :: rest) ->
+            c.sorted_rows <- Some rest;
+            Some p
+        | Some [] | None -> None
+      end
+      else fetch_raw c
+    in
+    (match pair with
+    | Some _ ->
+        c.delivered <- c.delivered + 1;
+        if c.first_row_cost = None then c.first_row_cost <- Some (total_cost c)
+    | None -> ());
+    pair
+  end
+
+let fetch c = Option.map snd (fetch_pair c)
+
+let close c =
+  match c.summary with
+  | Some s -> s
+  | None ->
+      c.closed <- true;
+      Trace.emit c.trace
+        (Trace.Retrieval_done { rows = c.delivered; cost = total_cost c });
+      let s =
+        {
+          rows_delivered = c.delivered;
+          total_cost = total_cost c;
+          cost_to_first_row = c.first_row_cost;
+          tactic = c.tactic;
+          goal = c.goal;
+          goal_provenance = c.goal_provenance;
+          trace = Trace.events c.trace;
+        }
+      in
+      c.summary <- Some s;
+      s
+
+let run ?config ?limit table req =
+  let c = open_ ?config table req in
+  let rows = ref [] in
+  let continue_ () =
+    match limit with Some n -> c.delivered < n | None -> true
+  in
+  let rec loop () =
+    if continue_ () then begin
+      match fetch c with
+      | Some row ->
+          rows := row :: !rows;
+          loop ()
+      | None -> ()
+    end
+  in
+  loop ();
+  (List.rev !rows, close c)

@@ -1,0 +1,98 @@
+(** Dynamic single-table retrieval (§4, §7; Figure 4).
+
+    The public face of the dynamic optimizer.  A retrieval is opened
+    with a (possibly parameterized) restriction, an optimization-goal
+    context, and an optional requested order; the engine then:
+
+    + binds host variables and runs the §5 initial stage (estimation,
+      candidate arrangement, empty-range cancellation);
+    + picks a tactic — static Tscan/Sscan/Fscan where the choice is
+      clear, otherwise one of the §7 competition tactics
+      (background-only, fast-first, sorted, index-only);
+    + interleaves the foreground and background processes at
+      cost-proportional speeds, switching strategies when competition
+      criteria fire;
+    + delivers rows through a cursor that the caller may abandon at
+      any point (early termination is what makes fast-first real).
+
+    Every decision is recorded in the {!Rdb_exec.Trace}. *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_exec
+
+type config = {
+  jscan : Jscan.config;
+  fgr_buffer_cap : int;
+      (** foreground delivered-RID buffer capacity; overflow stops the
+          foreground (fast-first) or the background (index-only) *)
+  fgr_waste_cap : float;
+      (** stop the fast-first foreground when its wasted-fetch cost
+          exceeds this fraction of the guaranteed best *)
+  speed_ratio : float;
+      (** foreground:background cost-speed ratio (1.0 = equal, the
+          optimum under hyperbolic cost distributions [Ant91B]) *)
+  default_goal : Goal.t;
+}
+
+val default_config : config
+
+type request = {
+  restriction : Predicate.t;
+  env : Predicate.env;
+  explicit_goal : Goal.t option;  (** OPTIMIZE FOR ... *)
+  context : Goal.controlling_node option;  (** for goal inference *)
+  order_by : string list;
+  projection : string list option;  (** [None] = all columns *)
+}
+
+val request :
+  ?env:Predicate.env ->
+  ?explicit_goal:Goal.t ->
+  ?context:Goal.controlling_node ->
+  ?order_by:string list ->
+  ?projection:string list ->
+  Predicate.t ->
+  request
+
+type tactic_kind =
+  | Static_tscan
+  | Static_sscan
+  | Static_fscan
+  | Background_only
+  | Fast_first_tactic
+  | Sorted_tactic
+  | Index_only_tactic
+  | Union_tactic
+      (** covered OR: one index scan per disjunct, union RID list —
+          the §7 "covering ORs" extension *)
+  | Cancelled  (** §5 empty-range cancellation *)
+
+val tactic_to_string : tactic_kind -> string
+
+type summary = {
+  rows_delivered : int;
+  total_cost : float;
+  cost_to_first_row : float option;
+  tactic : tactic_kind;
+  goal : Goal.t;
+  goal_provenance : string;
+  trace : Trace.event list;
+}
+
+type cursor
+
+val open_ : ?config:config -> Table.t -> request -> cursor
+val fetch : cursor -> Row.t option
+(** Next qualifying row; [None] when exhausted.  Rows arrive in
+    requested order if [order_by] was given. *)
+
+val fetch_pair : cursor -> (Rid.t * Row.t) option
+(** Like {!fetch} but exposing the record's RID (DELETE/UPDATE drive
+    this). *)
+
+val close : cursor -> summary
+(** May be called at any time (early termination).  Idempotent. *)
+
+val run : ?config:config -> ?limit:int -> Table.t -> request -> Row.t list * summary
+(** Convenience: open, fetch up to [limit] (all if omitted), close. *)

@@ -1,0 +1,90 @@
+open Rdb_btree
+open Rdb_data
+open Rdb_engine
+open Rdb_exec
+open Rdb_storage
+
+type result = {
+  rows : Row.t list;
+  cost : float;
+  trace : Trace.event list;
+  used_tscan : bool;
+}
+
+let run ?(keep_threshold = 0.25) ?limit table pred ~env =
+  let meter = Cost.create () in
+  let trace = Trace.create () in
+  let restriction = Predicate.simplify (Predicate.bind pred env) in
+  let card = float_of_int (Int.max 1 (Table.row_count table)) in
+  (* Static selection: estimate every index once, keep those under the
+     fixed threshold, order ascending.  This *is* dynamic estimation
+     at start-retrieval time — what MoHa90 supports — but nothing is
+     revisited once scanning begins. *)
+  let candidates =
+    List.filter_map
+      (fun idx ->
+        let extraction = Range_extract.for_index restriction idx in
+        if not extraction.Range_extract.bounded then None
+        else begin
+          let r = Estimate.ranges idx.Table.tree meter extraction.Range_extract.ranges in
+          if r.Estimate.estimate > keep_threshold *. card then None
+          else
+            Some
+              {
+                Scan.idx;
+                ranges = extraction.Range_extract.ranges;
+                residual = extraction.Range_extract.residual;
+                est = r.Estimate.estimate;
+                est_exact = r.Estimate.exact;
+              }
+        end)
+      (Table.indexes table)
+  in
+  let candidates =
+    List.stable_sort (fun a b -> Float.compare a.Scan.est b.Scan.est) candidates
+  in
+  let rows = ref [] in
+  let count = ref 0 in
+  let want_more () = match limit with Some n -> !count < n | None -> true in
+  let run_steps step =
+    let rec loop () =
+      if want_more () then begin
+        match step () with
+        | Scan.Deliver (_, row) ->
+            rows := row :: !rows;
+            incr count;
+            loop ()
+        | Scan.Continue -> loop ()
+        | Scan.Done -> ()
+      end
+    in
+    loop ()
+  in
+  let used_tscan = ref false in
+  (if candidates = [] then begin
+     used_tscan := true;
+     Trace.emit trace (Trace.Use_tscan { reason = "no index under the static threshold" });
+     let t = Tscan.create table meter restriction in
+     run_steps (fun () -> Tscan.step t)
+   end
+   else begin
+     let cfg = { Jscan.default_config with dynamic = false; simultaneous = false } in
+     let jscan = Jscan.create table meter cfg trace ~candidates in
+     match Jscan.run jscan with
+     | Jscan.Rid_list rids ->
+         let fin =
+           Final_stage.create table meter ~rids ~restriction ~exclude:(fun _ -> false)
+         in
+         run_steps (fun () -> Final_stage.step fin)
+     | Jscan.Recommend_tscan _ ->
+         used_tscan := true;
+         let t = Tscan.create table meter restriction in
+         run_steps (fun () -> Tscan.step t)
+   end);
+  Trace.emit trace (Trace.Retrieval_done { rows = !count; cost = Cost.total meter });
+  {
+    rows = List.rev !rows;
+    cost = Cost.total meter;
+    trace = Trace.events trace;
+    used_tscan = !used_tscan;
+  }

@@ -1,0 +1,1 @@
+lib/data/rid.mli: Format

@@ -1,0 +1,1 @@
+lib/data/row.ml: Array Buffer Bytes Format Int32 Int64 String Value

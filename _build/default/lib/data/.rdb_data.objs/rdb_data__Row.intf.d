@@ -1,0 +1,1 @@
+lib/data/row.mli: Bytes Format Value

@@ -1,0 +1,78 @@
+type t = Value.t array
+
+let get (r : t) i = r.(i)
+
+let size_bytes r = Array.fold_left (fun acc v -> acc + Value.size_bytes v) 2 r
+
+let encode r =
+  let buf = Buffer.create (size_bytes r) in
+  Buffer.add_uint16_le buf (Array.length r);
+  Array.iter
+    (fun v ->
+      match (v : Value.t) with
+      | Null -> Buffer.add_char buf '\000'
+      | Int i ->
+          Buffer.add_char buf '\001';
+          Buffer.add_int64_le buf (Int64.of_int i)
+      | Float f ->
+          Buffer.add_char buf '\002';
+          Buffer.add_int64_le buf (Int64.bits_of_float f)
+      | Str s ->
+          Buffer.add_char buf '\003';
+          Buffer.add_int32_le buf (Int32.of_int (String.length s));
+          Buffer.add_string buf s)
+    r;
+  Buffer.to_bytes buf
+
+let decode bytes =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > Bytes.length bytes then failwith "Row.decode: truncated"
+  in
+  need 2;
+  let arity = Bytes.get_uint16_le bytes !pos in
+  pos := !pos + 2;
+  Array.init arity (fun _ ->
+      need 1;
+      let tag = Bytes.get bytes !pos in
+      incr pos;
+      match tag with
+      | '\000' -> Value.Null
+      | '\001' ->
+          need 8;
+          let v = Bytes.get_int64_le bytes !pos in
+          pos := !pos + 8;
+          Value.Int (Int64.to_int v)
+      | '\002' ->
+          need 8;
+          let v = Bytes.get_int64_le bytes !pos in
+          pos := !pos + 8;
+          Value.Float (Int64.float_of_bits v)
+      | '\003' ->
+          need 4;
+          let len = Int32.to_int (Bytes.get_int32_le bytes !pos) in
+          pos := !pos + 4;
+          need len;
+          let s = Bytes.sub_string bytes !pos len in
+          pos := !pos + len;
+          Value.Str s
+      | _ -> failwith "Row.decode: bad tag")
+
+let project r cols = Array.map (fun i -> r.(i)) cols
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare_at cols a b =
+  let rec loop i =
+    if i >= Array.length cols then 0
+    else begin
+      let c = Value.compare a.(cols.(i)) b.(cols.(i)) in
+      if c <> 0 then c else loop (i + 1)
+    end
+  in
+  loop 0
+
+let to_string r =
+  "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string r)) ^ ")"
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)

@@ -1,0 +1,24 @@
+(** Rows and their stored encoding.
+
+    A row is a [Value.t array] matching a schema.  The binary codec is
+    a small tagged format used by the heap file so that page capacity
+    tracks realistic record sizes. *)
+
+type t = Value.t array
+
+val get : t -> int -> Value.t
+val size_bytes : t -> int
+
+val encode : t -> Bytes.t
+val decode : Bytes.t -> t
+(** [decode (encode r) = r].  Raises [Failure] on corrupt input. *)
+
+val project : t -> int array -> t
+(** [project row cols] extracts the given column positions. *)
+
+val equal : t -> t -> bool
+val compare_at : int array -> t -> t -> int
+(** Lexicographic comparison on the given column positions. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

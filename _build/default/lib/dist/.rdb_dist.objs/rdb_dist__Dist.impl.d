@@ -1,0 +1,1 @@
+lib/dist/dist.ml: Array Float Format Int Rdb_util

@@ -1,0 +1,1 @@
+lib/dist/hyperbola.ml: Array Dist Float List

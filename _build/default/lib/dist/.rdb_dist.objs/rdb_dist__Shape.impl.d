@@ -1,0 +1,1 @@
+lib/dist/shape.ml: Dist Rdb_util

@@ -1,0 +1,1 @@
+lib/engine/database.ml: Buffer_pool Hashtbl Rdb_storage Table

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Buffer_pool Rdb_data Rdb_storage Schema Table

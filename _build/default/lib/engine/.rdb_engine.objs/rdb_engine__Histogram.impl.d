@@ -1,0 +1,1 @@
+lib/engine/histogram.ml: Array Cost Float Format Heap_file Int Predicate Rdb_data Rdb_storage Row Schema Table Value

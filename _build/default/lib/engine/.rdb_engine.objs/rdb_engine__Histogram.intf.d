@@ -1,0 +1,1 @@
+lib/engine/histogram.mli: Cost Format Predicate Rdb_storage Table

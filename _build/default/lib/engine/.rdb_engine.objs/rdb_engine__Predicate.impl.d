@@ -1,0 +1,1 @@
+lib/engine/predicate.ml: Format Hashtbl List Printf Rdb_data Row Schema String Value

@@ -1,0 +1,1 @@
+lib/engine/predicate.mli: Format Rdb_data Row Schema Value

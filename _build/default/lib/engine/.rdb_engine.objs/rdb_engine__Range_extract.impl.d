@@ -1,0 +1,1 @@
+lib/engine/range_extract.ml: Array Btree Hashtbl List Predicate Rdb_btree Rdb_data Table Value

@@ -1,0 +1,1 @@
+lib/engine/range_extract.mli: Btree Predicate Rdb_btree Rdb_data Table Value

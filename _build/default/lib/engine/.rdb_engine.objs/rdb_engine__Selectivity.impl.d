@@ -1,0 +1,1 @@
+lib/engine/selectivity.ml: Btree Estimate Int List Predicate Range_extract Rdb_btree Rdb_dist Rdb_util Table

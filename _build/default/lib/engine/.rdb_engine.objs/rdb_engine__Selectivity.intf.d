@@ -1,0 +1,1 @@
+lib/engine/selectivity.mli: Cost Predicate Rdb_dist Rdb_storage Table

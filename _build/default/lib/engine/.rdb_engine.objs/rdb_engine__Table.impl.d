@@ -1,0 +1,1 @@
+lib/engine/table.ml: Array Btree Buffer_pool Cost Hashtbl Heap_file Int List Printf Rdb_btree Rdb_data Rdb_storage Rdb_util Rid Row Sampling Schema

@@ -1,0 +1,1 @@
+lib/engine/table.mli: Btree Buffer_pool Cost Heap_file Rdb_btree Rdb_data Rdb_storage Rid Row Schema

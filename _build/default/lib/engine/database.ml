@@ -1,0 +1,32 @@
+
+open Rdb_storage
+
+type t = { pool : Buffer_pool.t; tables : (string, Table.t) Hashtbl.t }
+
+let create ?(pool_capacity = 256) () =
+  { pool = Buffer_pool.create ~capacity:pool_capacity; tables = Hashtbl.create 8 }
+
+let pool t = t.pool
+
+let create_table t ?page_bytes ~name schema =
+  if Hashtbl.mem t.tables name then
+    invalid_arg ("Database.create_table: duplicate table " ^ name);
+  let table = Table.create ?page_bytes t.pool ~name schema in
+  Hashtbl.add t.tables name table;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None -> raise Not_found
+
+let find_table t name = Hashtbl.find_opt t.tables name
+
+let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
+
+let drop_table t name =
+  if Hashtbl.mem t.tables name then begin
+    Hashtbl.remove t.tables name;
+    true
+  end
+  else false

@@ -1,0 +1,22 @@
+(** The catalog: named tables sharing one buffer pool. *)
+
+open Rdb_data
+open Rdb_storage
+
+type t
+
+val create : ?pool_capacity:int -> unit -> t
+(** [pool_capacity] in blocks, default 256 — small enough that cache
+    effects (paper §3c) are visible on the benchmark workloads. *)
+
+val pool : t -> Buffer_pool.t
+
+val create_table : t -> ?page_bytes:int -> name:string -> Schema.t -> Table.t
+(** Raises [Invalid_argument] on duplicate names. *)
+
+val table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val find_table : t -> string -> Table.t option
+val tables : t -> Table.t list
+val drop_table : t -> string -> bool

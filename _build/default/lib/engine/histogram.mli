@@ -1,0 +1,44 @@
+(** Stored equi-width column histograms — the §5 strawman.
+
+    The paper dismisses the "widely known estimation method based on
+    storing the column distribution histograms" for three reasons:
+
+    + it "fully depends on costly data rescans for histogram
+      maintenance" — building one reads the whole table, and it goes
+      stale as data changes;
+    + it "can only be used for range-producing restrictions";
+    + "even for range estimates, histograms fail to detect small
+      ranges falling below granularity, though the smallest ranges
+      must be detected and scanned first".
+
+    This module implements that method honestly so the benchmark
+    harness can measure all three drawbacks against the B-tree
+    descent estimator (see `bench -e histogram`). *)
+
+open Rdb_storage
+
+type t
+
+val build : ?buckets:int -> Table.t -> column:string -> Cost.t -> t
+(** Full-scan build ([buckets] defaults to 64): one pass over the heap
+    is charged to the meter.  Non-numeric and NULL values are skipped.
+    Raises [Invalid_argument] on an unknown column. *)
+
+val buckets : t -> int
+val built_at_rows : t -> int
+(** The table's row count at build time (staleness witness). *)
+
+val build_cost : t -> float
+(** Pages read to build it. *)
+
+val estimate_range : t -> lo:float option -> hi:float option -> float
+(** Estimated number of rows with [lo <= v <= hi] (either bound
+    optional), with linear interpolation inside partially covered
+    buckets.  Reflects the data as of build time. *)
+
+val estimate_predicate : t -> Predicate.t -> float option
+(** Estimate for a bound predicate on the histogram's column.  [None]
+    when the predicate is not range-producing (LIKE, IS NULL, ...) —
+    the method's second drawback. *)
+
+val pp : Format.formatter -> t -> unit

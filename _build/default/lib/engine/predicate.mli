@@ -1,0 +1,78 @@
+(** Boolean restriction trees.
+
+    The paper optimizes single-table access under a "Boolean
+    restriction" — an AND/OR/NOT tree over simple column predicates,
+    possibly containing host-language variables (the `:A1` of the §4
+    motivating query).  Evaluation uses SQL three-valued logic: a
+    comparison with NULL is [Unknown], and a row qualifies only if the
+    whole restriction evaluates to [True]. *)
+
+open Rdb_data
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand =
+  | Const of Value.t
+  | Param of string  (** host variable, bound at open-retrieval time *)
+
+type t =
+  | True
+  | False
+  | Cmp of string * comparison * operand
+  | Cmp_col of string * comparison * string
+      (** column-to-column comparison — same-row attribute comparison
+          (the §5 case range estimation cannot serve) and the carrier
+          of join conditions in the SQL layer *)
+  | Between of string * operand * operand  (** inclusive *)
+  | In_list of string * operand list
+  | Is_null of string
+  | Is_not_null of string
+  | Like of string * string  (** pattern with [%] and [_] *)
+  | And of t list
+  | Or of t list
+  | Not of t
+
+type env = (string * Value.t) list
+(** Host-variable bindings. *)
+
+exception Unbound_param of string
+
+val bind : t -> env -> t
+(** Substitute parameters; raises {!Unbound_param} if one is missing. *)
+
+val params : t -> string list
+(** Parameter names, deduplicated, in first-occurrence order. *)
+
+val columns : t -> string list
+(** Referenced column names, deduplicated. *)
+
+val is_bound : t -> bool
+
+val eval : t -> Schema.t -> Row.t -> bool
+(** Three-valued evaluation collapsed to "qualifies or not".  The
+    restriction must be bound and its columns must exist in the
+    schema; raises [Unbound_param] / [Not_found] otherwise. *)
+
+val eval_maybe : t -> Schema.t -> Row.t -> bool
+(** [false] only when the restriction definitely fails ([F]); [true]
+    for [T] or [Unknown].  Used to pre-filter on synthetic rows built
+    from index keys, where unreferenced columns read as NULL: a row may
+    be rejected early only on definite evidence. *)
+
+val simplify : t -> t
+(** Flatten nested And/Or, drop [True]/[False] units, fold constants.
+    Does not reorder operands. *)
+
+val comparison_to_string : comparison -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Convenience constructors} *)
+
+val ( =% ) : string -> Value.t -> t
+val ( <% ) : string -> Value.t -> t
+val ( <=% ) : string -> Value.t -> t
+val ( >% ) : string -> Value.t -> t
+val ( >=% ) : string -> Value.t -> t
+val between : string -> Value.t -> Value.t -> t
+val param_cmp : string -> comparison -> string -> t

@@ -1,0 +1,160 @@
+open Rdb_btree
+open Rdb_data
+
+type t = {
+  ranges : Btree.range list;
+  residual : Predicate.t;
+  bounded : bool;
+  eq_prefix : int;
+}
+
+let key_of_values vs = Array.of_list vs
+
+let const_value = function Predicate.Const v -> Some v | Predicate.Param _ -> None
+
+(* A conjunct usable against column [col]: returns the absorbed bounds
+   as (lower, upper) where each is [Some (value, inclusive)]. *)
+let bounds_for col = function
+  | Predicate.Cmp (c, op, o) when c = col -> (
+      match const_value o with
+      | Some v when not (Value.is_null v) -> (
+          match op with
+          | Predicate.Eq -> Some (Some (v, true), Some (v, true))
+          | Predicate.Ge -> Some (Some (v, true), None)
+          | Predicate.Gt -> Some (Some (v, false), None)
+          | Predicate.Le -> Some (None, Some (v, true))
+          | Predicate.Lt -> Some (None, Some (v, false))
+          | Predicate.Ne -> None)
+      | _ -> None)
+  | Predicate.Between (c, a, b) when c = col -> (
+      match (const_value a, const_value b) with
+      | Some lo, Some hi when (not (Value.is_null lo)) && not (Value.is_null hi) ->
+          Some (Some (lo, true), Some (hi, true))
+      | _ -> None)
+  | _ -> None
+
+(* Tighten: keep the larger lower bound / smaller upper bound. *)
+let tighten_lo a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (va, ia), Some (vb, ib) ->
+      let c = Value.compare va vb in
+      if c > 0 then Some (va, ia)
+      else if c < 0 then Some (vb, ib)
+      else Some (va, ia && ib)
+
+let tighten_hi a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (va, ia), Some (vb, ib) ->
+      let c = Value.compare va vb in
+      if c < 0 then Some (va, ia)
+      else if c > 0 then Some (vb, ib)
+      else Some (va, ia && ib)
+
+let for_index restriction (idx : Table.index) =
+  if not (Predicate.is_bound restriction) then
+    invalid_arg "Range_extract.for_index: unbound restriction";
+  let restriction = Predicate.simplify restriction in
+  let conjuncts = match restriction with Predicate.And ts -> ts | t -> [ t ] in
+  (* Walk key columns, absorbing equality conjuncts, then at most one
+     range column. *)
+  let absorbed = Hashtbl.create 8 in
+  (* A small IN-list of constants on the stopping column becomes a
+     union of point ranges (delivered in key order). *)
+  let in_list_for col =
+    let best = ref None in
+    List.iteri
+      (fun i conj ->
+        if (not (Hashtbl.mem absorbed i)) && !best = None then begin
+          match conj with
+          | Predicate.In_list (c, os) when c = col && List.length os <= 32 ->
+              let consts =
+                List.filter_map
+                  (fun o ->
+                    match const_value o with
+                    | Some v when not (Value.is_null v) -> Some v
+                    | _ -> None)
+                  os
+              in
+              if List.length consts = List.length os && consts <> [] then
+                best := Some (i, List.sort_uniq Value.compare consts)
+          | _ -> ()
+        end)
+      conjuncts;
+    !best
+  in
+  let rec walk cols eq_vals =
+    match cols with
+    | [] -> (List.rev eq_vals, None, None, None)
+    | col :: rest ->
+        let lo = ref None and hi = ref None in
+        let found = ref [] in
+        List.iteri
+          (fun i conj ->
+            if not (Hashtbl.mem absorbed i) then begin
+              match bounds_for col conj with
+              | Some (l, h) ->
+                  lo := tighten_lo !lo l;
+                  hi := tighten_hi !hi h;
+                  found := i :: !found
+              | None -> ()
+            end)
+          conjuncts;
+        (match (!lo, !hi) with
+        | Some (vl, true), Some (vh, true) when Value.compare vl vh = 0 ->
+            (* Equality on this column: absorb and continue deeper. *)
+            List.iter (fun i -> Hashtbl.replace absorbed i ()) !found;
+            walk rest (vl :: eq_vals)
+        | None, None -> (
+            match in_list_for col with
+            | Some (i, values) ->
+                Hashtbl.replace absorbed i ();
+                (List.rev eq_vals, None, None, Some values)
+            | None -> (List.rev eq_vals, None, None, None))
+        | l, h ->
+            List.iter (fun i -> Hashtbl.replace absorbed i ()) !found;
+            (List.rev eq_vals, l, h, None))
+  in
+  let eq_vals, lo, hi, in_values = walk idx.Table.key_columns [] in
+  let eq_prefix = List.length eq_vals in
+  let lo_bound =
+    match lo with
+    | Some (v, incl) ->
+        let key = key_of_values (eq_vals @ [ v ]) in
+        if incl then Btree.Incl key else Btree.Excl key
+    | None ->
+        if eq_vals <> [] then Btree.Incl (key_of_values eq_vals)
+        else if hi <> None then
+          (* Upper bound only: exclude NULL keys, which sort first but
+             cannot satisfy the absorbed comparison. *)
+          Btree.Excl [| Value.Null |]
+        else Btree.Unbounded
+  in
+  let hi_bound =
+    match hi with
+    | Some (v, incl) ->
+        let key = key_of_values (eq_vals @ [ v ]) in
+        if incl then Btree.Incl key else Btree.Excl key
+    | None -> if eq_vals <> [] then Btree.Incl (key_of_values eq_vals) else Btree.Unbounded
+  in
+  (* NULL in the range column under an upper-bound-only range within an
+     equality prefix: exclude via a NULL-excluding low key. *)
+  let lo_bound =
+    match (lo, hi, eq_vals) with
+    | None, Some _, _ :: _ -> Btree.Excl (key_of_values (eq_vals @ [ Value.Null ]))
+    | _ -> lo_bound
+  in
+  let residual_list =
+    List.filteri (fun i _ -> not (Hashtbl.mem absorbed i)) conjuncts
+  in
+  let residual = Predicate.simplify (Predicate.And residual_list) in
+  match in_values with
+  | Some values ->
+      let ranges =
+        List.map (fun v -> Btree.point_range (key_of_values (eq_vals @ [ v ]))) values
+      in
+      { ranges; residual; bounded = true; eq_prefix }
+  | None ->
+      let bounded = lo_bound <> Btree.Unbounded || hi_bound <> Btree.Unbounded in
+      { ranges = [ { Btree.lo = lo_bound; hi = hi_bound } ]; residual; bounded; eq_prefix }

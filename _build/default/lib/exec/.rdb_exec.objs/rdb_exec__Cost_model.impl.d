@@ -1,0 +1,1 @@
+lib/exec/cost_model.ml: Btree Buffer_pool Cost Float Heap_file Rdb_btree Rdb_engine Rdb_storage Rdb_util Table

@@ -1,0 +1,1 @@
+lib/exec/final_stage.ml: Array Cost Heap_file Predicate Rdb_data Rdb_engine Rdb_storage Rid Scan Table

@@ -1,0 +1,1 @@
+lib/exec/final_stage.mli: Cost Predicate Rdb_data Rdb_engine Rdb_storage Rid Scan Table

@@ -1,0 +1,1 @@
+lib/exec/fscan.ml: Btree Cost Filter Heap_file Predicate Rdb_btree Rdb_engine Rdb_rid Rdb_storage Scan Table

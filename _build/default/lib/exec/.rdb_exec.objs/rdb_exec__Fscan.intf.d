@@ -1,0 +1,1 @@
+lib/exec/fscan.mli: Cost Filter Predicate Rdb_engine Rdb_rid Rdb_storage Scan Table

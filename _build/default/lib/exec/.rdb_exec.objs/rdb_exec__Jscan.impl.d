@@ -1,0 +1,1 @@
+lib/exec/jscan.ml: Btree Cost Cost_model Filter Float Int List Predicate Printf Rdb_btree Rdb_data Rdb_engine Rdb_rid Rdb_storage Rdb_util Rid Rid_list Scan Table Trace

@@ -1,0 +1,1 @@
+lib/exec/jscan.mli: Cost Rdb_data Rdb_engine Rdb_storage Rid Scan Table Trace

@@ -1,0 +1,1 @@
+lib/exec/scan.ml: Array Btree Predicate Rdb_btree Rdb_data Rdb_engine Rid Row Schema Table Value

@@ -1,0 +1,1 @@
+lib/exec/scan.mli: Btree Predicate Rdb_btree Rdb_data Rdb_engine Rid Row Table

@@ -1,0 +1,1 @@
+lib/exec/sscan.ml: Btree Cost Predicate Rdb_btree Rdb_engine Rdb_storage Scan Table

@@ -1,0 +1,1 @@
+lib/exec/sscan.mli: Cost Predicate Rdb_engine Rdb_storage Scan Table

@@ -1,0 +1,1 @@
+lib/exec/tscan.ml: Cost Heap_file Predicate Rdb_engine Rdb_storage Scan Table

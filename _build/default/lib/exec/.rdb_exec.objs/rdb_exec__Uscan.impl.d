@@ -1,0 +1,1 @@
+lib/exec/uscan.ml: Btree Cost Cost_model Float List Predicate Printf Rdb_btree Rdb_data Rdb_engine Rdb_rid Rdb_storage Rid Rid_list Scan Table Trace

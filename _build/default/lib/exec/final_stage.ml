@@ -1,0 +1,39 @@
+open Rdb_data
+open Rdb_engine
+open Rdb_storage
+
+type t = {
+  table : Table.t;
+  meter : Cost.t;
+  rids : Rid.t array;
+  restriction : Predicate.t;
+  exclude : Rid.t -> bool;
+  mutable pos : int;
+  mutable skipped : int;
+}
+
+let create table meter ~rids ~restriction ~exclude =
+  { table; meter; rids; restriction; exclude; pos = 0; skipped = 0 }
+
+let step t =
+  if t.pos >= Array.length t.rids then Scan.Done
+  else begin
+    let rid = t.rids.(t.pos) in
+    t.pos <- t.pos + 1;
+    Cost.charge_cpu t.meter 1;
+    if t.exclude rid then begin
+      t.skipped <- t.skipped + 1;
+      Scan.Continue
+    end
+    else begin
+      match Heap_file.fetch (Table.heap t.table) t.meter rid with
+      | None -> Scan.Continue
+      | Some row ->
+          if Predicate.eval t.restriction (Table.schema t.table) row then
+            Scan.Deliver (rid, row)
+          else Scan.Continue
+    end
+  end
+
+let meter t = t.meter
+let skipped_delivered t = t.skipped

@@ -1,0 +1,67 @@
+open Rdb_btree
+open Rdb_engine
+open Rdb_rid
+open Rdb_storage
+
+type t = {
+  table : Table.t;
+  meter : Cost.t;
+  idx : Table.index;
+  restriction : Predicate.t;
+  prefilter : Predicate.t;  (** restriction part decidable on the key alone *)
+  cursor : Btree.multi_cursor;
+  mutable filter : Filter.t option;
+  mutable fetched : int;
+  mutable rejected : int;
+  mutable saved : int;
+}
+
+let create table meter (cand : Scan.candidate) ~restriction =
+  if not (Predicate.is_bound restriction) then invalid_arg "Fscan.create: unbound restriction";
+  {
+    table;
+    meter;
+    idx = cand.Scan.idx;
+    restriction;
+    prefilter = restriction;
+    cursor = Btree.multi_cursor cand.Scan.idx.Table.tree meter cand.Scan.ranges;
+    filter = None;
+    fetched = 0;
+    rejected = 0;
+    saved = 0;
+  }
+
+let set_filter t f = t.filter <- Some f
+
+let step t =
+  match Btree.multi_next t.cursor with
+  | None -> Scan.Done
+  | Some (key, rid) ->
+      let schema = Table.schema t.table in
+      let synth = Scan.synthetic_row t.table t.idx key in
+      Cost.charge_cpu t.meter 1;
+      (* Reject on the key alone when the restriction definitely
+         fails, then through the background filter, then fetch. *)
+      if not (Predicate.eval_maybe t.prefilter schema synth) then Scan.Continue
+      else begin
+        match t.filter with
+        | Some f when not (Filter.mem f rid) ->
+            t.saved <- t.saved + 1;
+            Scan.Continue
+        | _ -> (
+            t.fetched <- t.fetched + 1;
+            match Heap_file.fetch (Table.heap t.table) t.meter rid with
+            | None -> Scan.Continue
+            | Some row ->
+                if Predicate.eval t.restriction schema row then Scan.Deliver (rid, row)
+                else begin
+                  t.rejected <- t.rejected + 1;
+                  Scan.Continue
+                end)
+      end
+
+let meter t = t.meter
+let fetched t = t.fetched
+let rejected_after_fetch t = t.rejected
+let saved_by_filter t = t.saved
+let index_name t = t.idx.Table.idx_name

@@ -1,0 +1,29 @@
+(** Common vocabulary of steppable scans.
+
+    Every strategy advances by small quanta so the competition
+    controller can interleave foreground and background work at
+    proportional speeds (§3, §7).  One [step] does O(1) work: examine
+    one index entry, one heap record, or one RID. *)
+
+open Rdb_btree
+open Rdb_data
+open Rdb_engine
+
+type step =
+  | Deliver of Rid.t * Row.t  (** a qualifying row *)
+  | Continue  (** worked, nothing to deliver yet *)
+  | Done  (** exhausted *)
+
+type candidate = {
+  idx : Table.index;
+  ranges : Btree.range list;
+      (** disjoint ranges in key order (one per IN-list value, else a
+          single range) *)
+  residual : Predicate.t;  (** restriction part the ranges don't cover *)
+  est : float;  (** estimated in-range entries *)
+  est_exact : bool;
+}
+
+val synthetic_row : Table.t -> Table.index -> Btree.key -> Row.t
+(** A schema-width row with the index key columns filled in and NULL
+    elsewhere (for index-only evaluation and delivery). *)

@@ -1,0 +1,41 @@
+open Rdb_btree
+open Rdb_engine
+open Rdb_storage
+
+type t = {
+  table : Table.t;
+  meter : Cost.t;
+  idx : Table.index;
+  restriction : Predicate.t;
+  cursor : Btree.multi_cursor;
+  mutable delivered : int;
+}
+
+let create table meter (cand : Scan.candidate) ~restriction =
+  (* Self-sufficiency precondition. *)
+  let needed = Predicate.columns restriction in
+  if not (Table.index_covers cand.Scan.idx ~columns:needed) then
+    invalid_arg "Sscan.create: index does not cover the restriction";
+  {
+    table;
+    meter;
+    idx = cand.Scan.idx;
+    restriction;
+    cursor = Btree.multi_cursor cand.Scan.idx.Table.tree meter cand.Scan.ranges;
+    delivered = 0;
+  }
+
+let step t =
+  match Btree.multi_next t.cursor with
+  | None -> Scan.Done
+  | Some (key, rid) ->
+      let row = Scan.synthetic_row t.table t.idx key in
+      if Predicate.eval t.restriction (Table.schema t.table) row then begin
+        t.delivered <- t.delivered + 1;
+        Scan.Deliver (rid, row)
+      end
+      else Scan.Continue
+
+let meter t = t.meter
+let delivered t = t.delivered
+let index_name t = t.idx.Table.idx_name

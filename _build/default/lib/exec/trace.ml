@@ -1,0 +1,56 @@
+module Dynarray = Rdb_util.Dynarray
+
+type event =
+  | Estimated of { index : string; estimate : float; exact : bool; nodes : int }
+  | Empty_range of { index : string }
+  | Shortcut_estimation of { index : string; estimate : float }
+  | Tactic_chosen of { tactic : string; reason : string }
+  | Scan_started of { index : string }
+  | Scan_discarded of { index : string; reason : string }
+  | Scan_completed of { index : string; kept : int; scanned : int }
+  | List_spilled of { index : string; at : int }
+  | Simultaneous_started of { primary : string; secondary : string }
+  | Simultaneous_winner of { index : string }
+  | Use_tscan of { reason : string }
+  | Foreground_stopped of { reason : string }
+  | Background_stopped of { reason : string }
+  | Final_stage of { rids : int; filtered_delivered : int }
+  | Retrieval_done of { rows : int; cost : float }
+
+type t = event Dynarray.t
+
+let create () = Dynarray.create ()
+let emit t e = Dynarray.push t e
+let events t = Dynarray.to_list t
+
+let count t pred = Dynarray.fold_left (fun acc e -> if pred e then acc + 1 else acc) 0 t
+
+let event_to_string = function
+  | Estimated { index; estimate; exact; nodes } ->
+      Printf.sprintf "estimate %s ~ %.0f rids%s (%d node reads)" index estimate
+        (if exact then " (exact)" else "")
+        nodes
+  | Empty_range { index } -> Printf.sprintf "empty range on %s: end-of-data at once" index
+  | Shortcut_estimation { index; estimate } ->
+      Printf.sprintf "short range on %s (~%.0f rids): estimation stopped early" index
+        estimate
+  | Tactic_chosen { tactic; reason } -> Printf.sprintf "tactic %s (%s)" tactic reason
+  | Scan_started { index } -> Printf.sprintf "scan %s started" index
+  | Scan_discarded { index; reason } -> Printf.sprintf "scan %s DISCARDED: %s" index reason
+  | Scan_completed { index; kept; scanned } ->
+      Printf.sprintf "scan %s completed: %d/%d rids kept" index kept scanned
+  | List_spilled { index; at } -> Printf.sprintf "rid list of %s spilled at %d rids" index at
+  | Simultaneous_started { primary; secondary } ->
+      Printf.sprintf "simultaneous scan of %s and %s" primary secondary
+  | Simultaneous_winner { index } -> Printf.sprintf "simultaneous winner: %s" index
+  | Use_tscan { reason } -> Printf.sprintf "switch to Tscan: %s" reason
+  | Foreground_stopped { reason } -> Printf.sprintf "foreground stopped: %s" reason
+  | Background_stopped { reason } -> Printf.sprintf "background stopped: %s" reason
+  | Final_stage { rids; filtered_delivered } ->
+      Printf.sprintf "final stage: %d rids (%d already delivered skipped)" rids
+        filtered_delivered
+  | Retrieval_done { rows; cost } ->
+      Printf.sprintf "retrieval done: %d rows, cost %.2f" rows cost
+
+let pp fmt t =
+  Dynarray.iter (fun e -> Format.fprintf fmt "%s@." (event_to_string e)) t

@@ -1,0 +1,35 @@
+(** Execution trace events.
+
+    The dynamic optimizer's value is in its run-time decisions; traces
+    make them observable.  They power the EXPLAIN output of the shell,
+    the flow tests that pin the Figure 4 / Figure 6 control flow, and
+    the benchmark reports on strategy switching. *)
+
+type event =
+  | Estimated of { index : string; estimate : float; exact : bool; nodes : int }
+  | Empty_range of { index : string }
+      (** §5: retrieval cancelled outright *)
+  | Shortcut_estimation of { index : string; estimate : float }
+      (** §5: very short range found, estimation stopped early *)
+  | Tactic_chosen of { tactic : string; reason : string }
+  | Scan_started of { index : string }
+  | Scan_discarded of { index : string; reason : string }
+      (** §6: two-stage or direct competition fired *)
+  | Scan_completed of { index : string; kept : int; scanned : int }
+  | List_spilled of { index : string; at : int }
+  | Simultaneous_started of { primary : string; secondary : string }
+  | Simultaneous_winner of { index : string }
+  | Use_tscan of { reason : string }
+  | Foreground_stopped of { reason : string }
+  | Background_stopped of { reason : string }
+  | Final_stage of { rids : int; filtered_delivered : int }
+  | Retrieval_done of { rows : int; cost : float }
+
+type t
+
+val create : unit -> t
+val emit : t -> event -> unit
+val events : t -> event list
+val count : t -> (event -> bool) -> int
+val event_to_string : event -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+open Rdb_btree
+open Rdb_data
+open Rdb_engine
+open Rdb_rid
+open Rdb_storage
+
+type outcome = Rid_list of Rid.t array | Recommend_tscan of string
+
+type config = { switch_ratio : float; check_every : int; memory_budget : int }
+
+let default_config = { switch_ratio = 0.95; check_every = 32; memory_budget = 4096 }
+
+type scan_state = {
+  cand : Scan.candidate;
+  cursor : Btree.multi_cursor;
+  mutable scanned : int;
+  mutable accepted_here : int;
+}
+
+type t = {
+  table : Table.t;
+  meter : Cost.t;
+  cfg : config;
+  trace : Trace.t;
+  mutable queue : Scan.candidate list;
+  mutable current : scan_state option;
+  union : Rid_list.t;
+  mutable accepted : int;
+  tscan_cost : float;
+  mutable finished : outcome option;
+}
+
+let create table meter cfg trace ~disjuncts =
+  {
+    table;
+    meter;
+    cfg;
+    trace;
+    queue = disjuncts;
+    current = None;
+    union = Rid_list.create ~memory_budget:cfg.memory_budget (Table.pool table) meter;
+    accepted = 0;
+    tscan_cost = Cost_model.tscan_cost table;
+    finished = None;
+  }
+
+let finish t outcome =
+  (match outcome with
+  | Recommend_tscan reason -> Trace.emit t.trace (Trace.Use_tscan { reason })
+  | Rid_list _ -> ());
+  t.finished <- Some outcome;
+  `Finished outcome
+
+(* All-or-nothing competition check: the union cannot drop one
+   disjunct, so the alternatives are "finish every scan and fetch the
+   union" vs "Tscan now".  Two triggers:
+
+   - certain: the rids already accepted plus the committed remaining
+     scan work cost as much as the sequential scan — no projection
+     involved, abandoning is safe;
+   - projected: when the remaining scan investment is itself a
+     significant fraction of the guaranteed best (>= 25%), trust the
+     estimates; for cheap remainders we keep scanning instead, because
+     a descent estimate can be off by several x and the first-stage
+     "investment in uncertainty removal" is low (§3). *)
+let check t st =
+  let remaining_known =
+    List.fold_left
+      (fun acc c -> acc +. Cost_model.index_scan_cost c.Scan.idx ~entries:c.Scan.est)
+      (Cost_model.index_scan_cost st.cand.Scan.idx
+         ~entries:(Float.max 0.0 (st.cand.Scan.est -. float_of_int st.scanned)))
+      t.queue
+  in
+  let certain_cost =
+    Cost_model.rid_fetch_cost t.table ~k:t.accepted +. remaining_known
+  in
+  if certain_cost >= t.cfg.switch_ratio *. t.tscan_cost then
+    Some
+      (Printf.sprintf "accepted union already costs %.1f vs Tscan %.1f" certain_cost
+         t.tscan_cost)
+  else if remaining_known >= 0.25 *. t.tscan_cost then begin
+    let this_projected =
+      let progress =
+        float_of_int st.scanned /. Float.max st.cand.Scan.est (float_of_int (st.scanned + 1))
+      in
+      if progress <= 0.0 then float_of_int st.accepted_here
+      else float_of_int st.accepted_here /. progress
+    in
+    let projected_union =
+      float_of_int (t.accepted - st.accepted_here)
+      +. this_projected
+      +. List.fold_left (fun acc c -> acc +. c.Scan.est) 0.0 t.queue
+    in
+    let projected_cost =
+      Cost_model.rid_fetch_cost t.table ~k:(int_of_float (ceil projected_union))
+      +. remaining_known
+    in
+    if projected_cost >= t.cfg.switch_ratio *. t.tscan_cost then
+      Some
+        (Printf.sprintf "projected union retrieval %.1f approaches Tscan %.1f"
+           projected_cost t.tscan_cost)
+    else None
+  end
+  else None
+
+let rec step t =
+  match t.finished with
+  | Some o -> `Finished o
+  | None -> (
+      match t.current with
+      | None -> (
+          match t.queue with
+          | [] ->
+              if t.accepted = 0 then finish t (Rid_list [||])
+              else begin
+                let fetch = Cost_model.rid_fetch_cost t.table ~k:t.accepted in
+                if fetch <= t.tscan_cost then
+                  finish t (Rid_list (Rid_list.to_sorted_array t.union))
+                else
+                  finish t
+                    (Recommend_tscan
+                       (Printf.sprintf "union of %d RIDs costs %.1f vs Tscan %.1f"
+                          t.accepted fetch t.tscan_cost))
+              end
+          | cand :: rest ->
+              t.queue <- rest;
+              Trace.emit t.trace
+                (Trace.Scan_started { index = cand.Scan.idx.Table.idx_name });
+              t.current <-
+                Some
+                  {
+                    cand;
+                    cursor = Btree.multi_cursor cand.Scan.idx.Table.tree t.meter cand.Scan.ranges;
+                    scanned = 0;
+                    accepted_here = 0;
+                  };
+              `Working)
+      | Some st -> (
+          match Btree.multi_next st.cursor with
+          | None ->
+              Trace.emit t.trace
+                (Trace.Scan_completed
+                   {
+                     index = st.cand.Scan.idx.Table.idx_name;
+                     kept = t.accepted;
+                     scanned = st.scanned;
+                   });
+              t.current <- None;
+              `Working
+          | Some (key, rid) ->
+              st.scanned <- st.scanned + 1;
+              Cost.charge_cpu t.meter 1;
+              if
+                Predicate.eval_maybe st.cand.Scan.residual (Table.schema t.table)
+                  (Scan.synthetic_row t.table st.cand.Scan.idx key)
+              then begin
+                Rid_list.add t.union rid;
+                t.accepted <- t.accepted + 1;
+                st.accepted_here <- st.accepted_here + 1
+              end;
+              if st.scanned mod t.cfg.check_every = 0 then begin
+                match check t st with
+                | Some reason ->
+                    Trace.emit t.trace
+                      (Trace.Scan_discarded
+                         { index = st.cand.Scan.idx.Table.idx_name; reason });
+                    Rid_list.destroy t.union;
+                    ignore (finish t (Recommend_tscan reason));
+                    step t
+                | None -> `Working
+              end
+              else `Working))
+
+let rec run t = match step t with `Finished o -> o | `Working -> run t
+
+let meter t = t.meter

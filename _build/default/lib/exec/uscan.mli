@@ -1,0 +1,42 @@
+(** Uscan — union scan over the disjuncts of an OR restriction.
+
+    The paper lists "covering ORs ... of table-wide Boolean
+    expressions" as a rich source for extending the tactics (§7,
+    Other Tactics); this module implements the natural union dual of
+    Jscan: each OR disjunct is served by one index range scan, the
+    accepted RIDs accumulate into a single union list, and the final
+    stage fetches the deduplicated list.
+
+    Unlike Jscan, a union cannot discard one unproductive scan — every
+    disjunct's rows are owed — so the competition is all-or-nothing:
+    when the projected union retrieval plus the remaining scan work
+    approaches the guaranteed best (Tscan), the whole arrangement is
+    abandoned in favour of the sequential scan. *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_storage
+
+type outcome =
+  | Rid_list of Rid.t array  (** sorted, deduplicated union *)
+  | Recommend_tscan of string
+
+type config = {
+  switch_ratio : float;  (** abandon threshold vs guaranteed best (0.95) *)
+  check_every : int;
+  memory_budget : int;
+}
+
+val default_config : config
+
+type t
+
+val create :
+  Table.t -> Cost.t -> config -> Trace.t -> disjuncts:Scan.candidate list -> t
+(** One candidate per OR disjunct; each candidate's [residual] is the
+    part of its own disjunct the range does not guarantee (evaluated
+    with [eval_maybe] during the scan). *)
+
+val step : t -> [ `Working | `Finished of outcome ]
+val run : t -> outcome
+val meter : t -> Cost.t

@@ -1,0 +1,1 @@
+lib/rid/bitmap.ml: Bytes Char Int Rdb_data Rid

@@ -1,0 +1,1 @@
+lib/rid/bitmap.mli: Rdb_data Rid

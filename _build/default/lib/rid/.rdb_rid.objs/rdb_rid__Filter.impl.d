@@ -1,0 +1,1 @@
+lib/rid/filter.ml: Array Bitmap Rdb_data Rdb_util Rid

@@ -1,0 +1,1 @@
+lib/rid/filter.mli: Bitmap Rdb_data Rid

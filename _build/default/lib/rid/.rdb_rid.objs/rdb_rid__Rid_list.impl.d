@@ -1,0 +1,1 @@
+lib/rid/rid_list.ml: Array Bitmap Buffer_pool Cost Filter Rdb_data Rdb_storage Rdb_util Rid Spill

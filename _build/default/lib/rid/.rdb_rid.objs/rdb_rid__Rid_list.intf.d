@@ -1,0 +1,1 @@
+lib/rid/rid_list.mli: Buffer_pool Cost Filter Rdb_data Rdb_storage Rid

@@ -1,0 +1,23 @@
+open Rdb_data
+
+type t = Exact of Rid.t array | Hashed of Bitmap.t
+
+let of_sorted_array a =
+  assert (
+    let ok = ref true in
+    for i = 1 to Array.length a - 1 do
+      if Rid.compare a.(i - 1) a.(i) > 0 then ok := false
+    done;
+    !ok);
+  Exact a
+
+let mem t rid =
+  match t with
+  | Exact a -> Rdb_util.Sorted.mem ~cmp:Rid.compare a ~len:(Array.length a) rid
+  | Hashed b -> Bitmap.mem b rid
+
+let is_exact = function Exact _ -> true | Hashed _ -> false
+
+let size_hint = function
+  | Exact a -> Array.length a
+  | Hashed b -> Bitmap.population b

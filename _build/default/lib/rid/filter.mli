@@ -1,0 +1,21 @@
+(** RID-list filters for Jscan intersection (§6).
+
+    A completed index scan leaves behind a filter that subsequent
+    scans probe: either an exact sorted in-memory RID list, or a hashed
+    bitmap when the list spilled.  [mem] is one-sided for the hashed
+    kind: [false] is definite, [true] may be a false positive. *)
+
+open Rdb_data
+
+type t =
+  | Exact of Rid.t array  (** sorted ascending *)
+  | Hashed of Bitmap.t
+
+val of_sorted_array : Rid.t array -> t
+(** The array must be sorted; checked with an assertion. *)
+
+val mem : t -> Rid.t -> bool
+val is_exact : t -> bool
+
+val size_hint : t -> int
+(** Exact size, or the bitmap population as a proxy. *)

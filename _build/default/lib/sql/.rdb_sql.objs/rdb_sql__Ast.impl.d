@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Buffer List Printf Rdb_core Rdb_data String Value

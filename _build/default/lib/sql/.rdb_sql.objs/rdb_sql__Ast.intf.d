@@ -1,0 +1,1 @@
+lib/sql/ast.mli: Rdb_core Rdb_data Value

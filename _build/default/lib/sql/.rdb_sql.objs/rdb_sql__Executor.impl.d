@@ -1,0 +1,1 @@
+lib/sql/executor.ml: Array Ast Database Float Hashtbl Int List Parser Predicate Printf Rdb_core Rdb_data Rdb_engine Rdb_exec Row Schema String Table Value

@@ -1,0 +1,1 @@
+lib/sql/executor.mli: Ast Database Predicate Rdb_core Rdb_data Rdb_engine Value

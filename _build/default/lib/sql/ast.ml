@@ -1,0 +1,169 @@
+open Rdb_data
+
+type operand = Lit of Value.t | Host of string
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond =
+  | C_true
+  | C_false
+  | C_cmp of string * comparison * operand
+  | C_cmp_col of string * comparison * string
+  | C_between of string * operand * operand
+  | C_in_list of string * operand list
+  | C_in_select of string * select
+  | C_exists of select
+  | C_like of string * string
+  | C_is_null of string
+  | C_is_not_null of string
+  | C_and of cond list
+  | C_or of cond list
+  | C_not of cond
+
+and agg = Count_star | Count of string | Sum of string | Avg of string | Min of string | Max of string
+
+and projection = Star | Cols of string list | Aggs of (agg * string) list
+
+and select = {
+  distinct : bool;
+  projection : projection;
+  table : string;
+  joined : string option;
+      (** second FROM table: an inner join driven by repeated
+          parameterized retrieval (columns may be qualified [T.COL]) *)
+  where : cond option;
+  order_by : string list;
+  limit : int option;
+  optimize : Rdb_core.Goal.t option;
+}
+
+type column_def = { col_name : string; col_type : Value.ty; col_nullable : bool }
+
+type statement =
+  | Select of select
+  | Explain of select
+  | Create_table of string * column_def list
+  | Create_index of { index : string; on_table : string; columns : string list }
+  | Insert of { into : string; rows : operand list list }
+  | Delete of { from : string; where : cond option }
+  | Update of {
+      table : string;
+      assignments : (string * operand) list;
+      where : cond option;
+    }
+
+let agg_name = function
+  | Count_star -> "COUNT(*)"
+  | Count c -> Printf.sprintf "COUNT(%s)" c
+  | Sum c -> Printf.sprintf "SUM(%s)" c
+  | Avg c -> Printf.sprintf "AVG(%s)" c
+  | Min c -> Printf.sprintf "MIN(%s)" c
+  | Max c -> Printf.sprintf "MAX(%s)" c
+
+(* --- printing back to SQL ------------------------------------------- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''"
+      else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let value_to_sql (v : Value.t) =
+  match v with
+  | Value.Null -> "NULL"
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Str s -> escape_string s
+
+let operand_to_string = function
+  | Lit v -> value_to_sql v
+  | Host h -> ":" ^ h
+
+let comparison_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec cond_to_string = function
+  | C_true -> "TRUE"
+  | C_false -> "FALSE"
+  | C_cmp (c, op, o) ->
+      Printf.sprintf "%s %s %s" c (comparison_to_string op) (operand_to_string o)
+  | C_cmp_col (a, op, b) -> Printf.sprintf "%s %s %s" a (comparison_to_string op) b
+  | C_between (c, a, b) ->
+      Printf.sprintf "%s BETWEEN %s AND %s" c (operand_to_string a) (operand_to_string b)
+  | C_in_list (c, os) ->
+      Printf.sprintf "%s IN (%s)" c (String.concat ", " (List.map operand_to_string os))
+  | C_in_select (c, sub) -> Printf.sprintf "%s IN (%s)" c (select_to_string sub)
+  | C_exists sub -> Printf.sprintf "EXISTS (%s)" (select_to_string sub)
+  | C_like (c, p) -> Printf.sprintf "%s LIKE %s" c (escape_string p)
+  | C_is_null c -> c ^ " IS NULL"
+  | C_is_not_null c -> c ^ " IS NOT NULL"
+  | C_and cs -> "(" ^ String.concat " AND " (List.map cond_to_string cs) ^ ")"
+  | C_or cs -> "(" ^ String.concat " OR " (List.map cond_to_string cs) ^ ")"
+  | C_not c -> "NOT (" ^ cond_to_string c ^ ")"
+
+and projection_to_string = function
+  | Star -> "*"
+  | Cols cs -> String.concat ", " cs
+  | Aggs aggs -> String.concat ", " (List.map (fun (a, _) -> agg_name a) aggs)
+
+and select_to_string s =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (projection_to_string s.projection);
+  Buffer.add_string buf
+    (" FROM " ^ s.table ^ match s.joined with Some t -> ", " ^ t | None -> "");
+  (match s.where with
+  | Some c -> Buffer.add_string buf (" WHERE " ^ cond_to_string c)
+  | None -> ());
+  if s.order_by <> [] then
+    Buffer.add_string buf (" ORDER BY " ^ String.concat ", " s.order_by);
+  (match s.limit with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT TO %d ROWS" n)
+  | None -> ());
+  (match s.optimize with
+  | Some Rdb_core.Goal.Fast_first -> Buffer.add_string buf " OPTIMIZE FOR FAST FIRST"
+  | Some Rdb_core.Goal.Total_time -> Buffer.add_string buf " OPTIMIZE FOR TOTAL TIME"
+  | None -> ());
+  Buffer.contents buf
+
+let statement_to_string = function
+  | Select s -> select_to_string s
+  | Explain s -> "EXPLAIN " ^ select_to_string s
+  | Create_table (name, defs) ->
+      let def d =
+        let ty =
+          match d.col_type with
+          | Value.T_int -> "INT"
+          | Value.T_float -> "FLOAT"
+          | Value.T_str -> "STRING"
+        in
+        Printf.sprintf "%s %s%s" d.col_name ty (if d.col_nullable then " NULL" else "")
+      in
+      Printf.sprintf "CREATE TABLE %s (%s)" name (String.concat ", " (List.map def defs))
+  | Create_index { index; on_table; columns } ->
+      Printf.sprintf "CREATE INDEX %s ON %s (%s)" index on_table (String.concat ", " columns)
+  | Insert { into; rows } ->
+      Printf.sprintf "INSERT INTO %s VALUES %s" into
+        (String.concat ", "
+           (List.map
+              (fun row -> "(" ^ String.concat ", " (List.map operand_to_string row) ^ ")")
+              rows))
+  | Delete { from; where } ->
+      Printf.sprintf "DELETE FROM %s%s" from
+        (match where with Some c -> " WHERE " ^ cond_to_string c | None -> "")
+  | Update { table; assignments; where } ->
+      Printf.sprintf "UPDATE %s SET %s%s" table
+        (String.concat ", "
+           (List.map (fun (c, o) -> c ^ " = " ^ operand_to_string o) assignments))
+        (match where with Some c -> " WHERE " ^ cond_to_string c | None -> "")

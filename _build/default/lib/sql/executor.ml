@@ -1,0 +1,623 @@
+open Rdb_data
+open Rdb_engine
+module Goal = Rdb_core.Goal
+module Retrieval = Rdb_core.Retrieval
+
+type result = {
+  columns : string list;
+  rows : Value.t list list;
+  summaries : (string * Retrieval.summary) list;
+  message : string option;
+}
+
+exception Execution_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+
+let operand_to_pred = function
+  | Ast.Lit v -> Predicate.Const v
+  | Ast.Host h -> Predicate.Param h
+
+let comparison_to_pred = function
+  | Ast.Eq -> Predicate.Eq
+  | Ast.Ne -> Predicate.Ne
+  | Ast.Lt -> Predicate.Lt
+  | Ast.Le -> Predicate.Le
+  | Ast.Gt -> Predicate.Gt
+  | Ast.Ge -> Predicate.Ge
+
+let agg_columns = function
+  | Ast.Count_star -> []
+  | Ast.Count c | Ast.Sum c | Ast.Avg c | Ast.Min c | Ast.Max c -> [ c ]
+
+let projection_columns db (sel : Ast.select) =
+  match sel.Ast.projection with
+  | Ast.Star ->
+      let table = Database.table db sel.Ast.table in
+      List.map (fun c -> c.Schema.name) (Schema.columns (Table.schema table))
+  | Ast.Cols cs -> cs
+  | Ast.Aggs aggs -> List.sort_uniq compare (List.concat_map (fun (a, _) -> agg_columns a) aggs)
+
+(* The node immediately controlling this select's retrieval (§4). *)
+let goal_context_of_select db (sel : Ast.select) ~outer =
+  match sel.Ast.limit with
+  | Some n -> Some (Goal.Limit n)
+  | None ->
+      if sel.Ast.distinct then Some Goal.Sort
+      else begin
+        match sel.Ast.projection with
+        | Ast.Aggs _ -> Some Goal.Aggregate
+        | Ast.Star | Ast.Cols _ ->
+            if sel.Ast.order_by <> [] then begin
+              (* A SORT node exists only if no index delivers the
+                 order. *)
+              let table = Database.table db sel.Ast.table in
+              let provided =
+                List.exists
+                  (fun idx -> Table.index_provides_order idx ~order:sel.Ast.order_by)
+                  (Table.indexes table)
+              in
+              if provided then outer else Some Goal.Sort
+            end
+            else outer
+      end
+
+(* Resolve subqueries innermost-first, turning the condition into an
+   engine predicate.  Summaries accumulate in execution order. *)
+let rec cond_to_predicate db env config summaries cond =
+  match cond with
+  | Ast.C_true -> Predicate.True
+  | Ast.C_false -> Predicate.False
+  | Ast.C_cmp (c, op, o) -> Predicate.Cmp (c, comparison_to_pred op, operand_to_pred o)
+  | Ast.C_cmp_col (a, op, b) -> Predicate.Cmp_col (a, comparison_to_pred op, b)
+  | Ast.C_between (c, a, b) -> Predicate.Between (c, operand_to_pred a, operand_to_pred b)
+  | Ast.C_in_list (c, os) -> Predicate.In_list (c, List.map operand_to_pred os)
+  | Ast.C_like (c, p) -> Predicate.Like (c, p)
+  | Ast.C_is_null c -> Predicate.Is_null c
+  | Ast.C_is_not_null c -> Predicate.Is_not_null c
+  | Ast.C_and cs -> Predicate.And (List.map (cond_to_predicate db env config summaries) cs)
+  | Ast.C_or cs -> Predicate.Or (List.map (cond_to_predicate db env config summaries) cs)
+  | Ast.C_not c -> Predicate.Not (cond_to_predicate db env config summaries c)
+  | Ast.C_in_select (c, sub) ->
+      let values = run_scalar_subquery db env config summaries sub ~outer:None () in
+      Predicate.In_list (c, List.map (fun v -> Predicate.Const v) values)
+  | Ast.C_exists sub ->
+      (* One row is enough; the LIMIT is imposed at execution so the
+         goal context is still the controlling EXISTS node (§4). *)
+      let values =
+        run_scalar_subquery db env config summaries sub ~outer:(Some Goal.Exists)
+          ~force_limit:1 ()
+      in
+      if values <> [] then Predicate.True else Predicate.False
+
+and run_scalar_subquery db env config summaries sub ~outer ?force_limit () =
+  let res = run_select db env config summaries sub ~outer ?force_limit () in
+  let values =
+    List.map
+      (function
+        | [ v ] -> v
+        | row -> fail "subquery must produce one column, got %d" (List.length row))
+      res
+  in
+  values
+
+(* Run a select, returning projected value rows; pushes its retrieval
+   summary onto [summaries]. *)
+and run_select db env config summaries (sel : Ast.select) ~outer ?force_limit () =
+  match sel.Ast.joined with
+  | Some b_name -> run_join db env config summaries sel b_name ?force_limit ()
+  | None -> run_single db env config summaries sel ~outer ?force_limit ()
+
+and run_single db env config summaries (sel : Ast.select) ~outer ?force_limit () =
+  let table =
+    match Database.find_table db sel.Ast.table with
+    | Some t -> t
+    | None -> fail "no such table: %s" sel.Ast.table
+  in
+  let schema = Table.schema table in
+  let restriction =
+    match sel.Ast.where with
+    | None -> Predicate.True
+    | Some c -> cond_to_predicate db env config summaries c
+  in
+  let context = goal_context_of_select db sel ~outer in
+  let proj_cols = projection_columns db sel in
+  List.iter
+    (fun c -> if not (Schema.mem schema c) then fail "unknown column %s" c)
+    (proj_cols @ sel.Ast.order_by);
+  let needs_post = sel.Ast.distinct || (match sel.Ast.projection with Ast.Aggs _ -> true | _ -> false) in
+  let own_limit = if needs_post then None else sel.Ast.limit in
+  let push_limit =
+    match (own_limit, force_limit) with
+    | Some a, Some b -> Some (Int.min a b)
+    | Some a, None -> Some a
+    | None, l -> l
+  in
+  let req =
+    Retrieval.request ~env ?explicit_goal:sel.Ast.optimize ?context
+      ~order_by:sel.Ast.order_by ~projection:proj_cols restriction
+  in
+  let rows, summary = Retrieval.run ?config ?limit:push_limit table req in
+  summaries := !summaries @ [ (sel.Ast.table, summary) ];
+  let project row = List.map (fun c -> Row.get row (Schema.index_of schema c)) proj_cols in
+  match sel.Ast.projection with
+  | Ast.Aggs aggs ->
+      let values col = List.map (fun r -> Row.get r (Schema.index_of schema col)) rows in
+      let non_null col = List.filter (fun v -> not (Value.is_null v)) (values col) in
+      let numeric col =
+        List.filter_map Value.as_float (non_null col)
+      in
+      let compute = function
+        | Ast.Count_star -> Value.int (List.length rows)
+        | Ast.Count c -> Value.int (List.length (non_null c))
+        | Ast.Sum c ->
+            let xs = numeric c in
+            if xs = [] then Value.Null
+            else begin
+              let s = List.fold_left ( +. ) 0.0 xs in
+              if Float.is_integer s then Value.int (int_of_float s) else Value.float s
+            end
+        | Ast.Avg c ->
+            let xs = numeric c in
+            if xs = [] then Value.Null
+            else Value.float (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+        | Ast.Min c -> (
+            match non_null c with
+            | [] -> Value.Null
+            | v :: rest -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v rest)
+        | Ast.Max c -> (
+            match non_null c with
+            | [] -> Value.Null
+            | v :: rest -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v rest)
+      in
+      [ List.map (fun (a, _) -> compute a) aggs ]
+  | Ast.Star | Ast.Cols _ ->
+      let projected = List.map project rows in
+      let projected =
+        if sel.Ast.distinct then
+          List.sort_uniq (fun a b -> List.compare Value.compare a b) projected
+        else projected
+      in
+      let projected =
+        match (needs_post, sel.Ast.limit) with
+        | true, Some n -> List.filteri (fun i _ -> i < n) projected
+        | _ -> projected
+      in
+      projected
+
+
+(* --- two-table joins ------------------------------------------------- *)
+
+(* Rename every column reference of a bound single-table predicate. *)
+and rename_predicate f pred =
+  let open Predicate in
+  let rec go = function
+    | (True | False) as t -> t
+    | Cmp (c, op, o) -> Cmp (f c, op, o)
+    | Cmp_col (a, op, b) -> Cmp_col (f a, op, f b)
+    | Between (c, a, b) -> Between (f c, a, b)
+    | In_list (c, os) -> In_list (f c, os)
+    | Is_null c -> Is_null (f c)
+    | Is_not_null c -> Is_not_null (f c)
+    | Like (c, p) -> Like (f c, p)
+    | And ts -> And (List.map go ts)
+    | Or ts -> Or (List.map go ts)
+    | Not x -> Not (go x)
+  in
+  go pred
+
+(* A two-table inner join executed as the paper's "iterative execution
+   of query subplans" (§1): the outer table is retrieved once, and the
+   inner table is probed with a *parameterized* retrieval per distinct
+   join value — each probe is a fresh dynamic decision (per-iteration
+   strategy choice, empty-range cancellation, adaptive index
+   pre-ordering).  Probes are memoized per join value. *)
+and run_join db env config summaries (sel : Ast.select) b_name ?force_limit () =
+  let a_name = sel.Ast.table in
+  let ta =
+    match Database.find_table db a_name with
+    | Some t -> t
+    | None -> fail "no such table: %s" a_name
+  in
+  let tb =
+    match Database.find_table db b_name with
+    | Some t -> t
+    | None -> fail "no such table: %s" b_name
+  in
+  if a_name = b_name then fail "self-joins need distinct table names";
+  let sa = Table.schema ta and sb = Table.schema tb in
+  (* Canonicalize a (possibly qualified) column to "TABLE.COL". *)
+  let canon col =
+    match String.index_opt col '.' with
+    | Some i ->
+        let t = String.sub col 0 i and c = String.sub col (i + 1) (String.length col - i - 1) in
+        if t = a_name && Schema.mem sa c then a_name ^ "." ^ c
+        else if t = b_name && Schema.mem sb c then b_name ^ "." ^ c
+        else fail "unknown column %s" col
+    | None -> (
+        match (Schema.mem sa col, Schema.mem sb col) with
+        | true, false -> a_name ^ "." ^ col
+        | false, true -> b_name ^ "." ^ col
+        | true, true -> fail "ambiguous column %s (qualify it)" col
+        | false, false -> fail "unknown column %s" col)
+  in
+  let strip prefix col =
+    let p = prefix ^ "." in
+    let lp = String.length p in
+    if String.length col > lp && String.sub col 0 lp = p then
+      String.sub col lp (String.length col - lp)
+    else col
+  in
+  let side col =
+    if String.length col > String.length a_name && String.sub col 0 (String.length a_name + 1) = a_name ^ "." then `A
+    else `B
+  in
+  (* Build the canonical predicate (subqueries resolve first). *)
+  let restriction =
+    match sel.Ast.where with
+    | None -> Predicate.True
+    | Some c ->
+        rename_predicate canon
+          (Predicate.bind (cond_to_predicate db env config summaries c) env)
+  in
+  let restriction = Predicate.simplify restriction in
+  if restriction = Predicate.False then
+    finalize_join db sel ~canon ~sa ~sb ~a_name ~b_name [] ?force_limit ()
+  else begin
+    let conjuncts =
+      match restriction with Predicate.And ts -> ts | Predicate.True -> [] | t -> [ t ]
+    in
+    let join_cond = ref None in
+    let outer = ref [] and inner = ref [] and post = ref [] in
+    List.iter
+      (fun conj ->
+        let sides = List.sort_uniq compare (List.map side (Predicate.columns conj)) in
+        match (conj, sides) with
+        | _, [ `A ] -> outer := conj :: !outer
+        | _, [ `B ] -> inner := conj :: !inner
+        | Predicate.Cmp_col (x, Predicate.Eq, y), [ `A; `B ] when !join_cond = None ->
+            let a_col, b_col = if side x = `A then (x, y) else (y, x) in
+            join_cond := Some (strip a_name a_col, strip b_name b_col)
+        | _, [] -> outer := conj :: !outer
+        | _ -> post := conj :: !post)
+      conjuncts;
+    let outer_pred =
+      Predicate.simplify (Predicate.And (List.rev_map (rename_predicate (strip a_name)) !outer))
+    in
+    let inner_pred =
+      Predicate.simplify (Predicate.And (List.rev_map (rename_predicate (strip b_name)) !inner))
+    in
+    let post_pred = Predicate.simplify (Predicate.And (List.rev !post)) in
+    (* Outer retrieval: one dynamic run. *)
+    let outer_rows, outer_summary =
+      Retrieval.run ?config ta (Retrieval.request ~env outer_pred)
+    in
+    summaries := !summaries @ [ (a_name, outer_summary) ];
+    (* Inner probes: one parameterized retrieval per distinct join
+       value, memoized. *)
+    let probe_cost = ref 0.0 and probe_rows = ref 0 and probes = ref 0 and hits = ref 0 in
+    let last_tactic = ref Retrieval.Static_tscan and last_goal = ref Rdb_core.Goal.Total_time in
+    let cache : (Value.t, Row.t list) Hashtbl.t = Hashtbl.create 64 in
+    let probe v =
+      match Hashtbl.find_opt cache v with
+      | Some rows ->
+          incr hits;
+          rows
+      | None ->
+          incr probes;
+          let pred =
+            match !join_cond with
+            | Some (_, b_col) ->
+                Predicate.simplify
+                  (Predicate.And [ inner_pred; Predicate.Cmp (b_col, Predicate.Eq, Predicate.Const v) ])
+            | None -> inner_pred
+          in
+          let rows, s = Retrieval.run ?config tb (Retrieval.request ~env pred) in
+          probe_cost := !probe_cost +. s.Retrieval.total_cost;
+          probe_rows := !probe_rows + s.Retrieval.rows_delivered;
+          last_tactic := s.Retrieval.tactic;
+          last_goal := s.Retrieval.goal;
+          Hashtbl.replace cache v rows;
+          rows
+    in
+    let combined = ref [] in
+    List.iter
+      (fun (a_row : Row.t) ->
+        let join_value =
+          match !join_cond with
+          | Some (a_col, _) -> Some (Row.get a_row (Schema.index_of sa a_col))
+          | None -> None
+        in
+        match join_value with
+        | Some Value.Null -> () (* NULL never joins *)
+        | Some v ->
+            List.iter
+              (fun b_row -> combined := Array.append a_row b_row :: !combined)
+              (probe v)
+        | None ->
+            List.iter
+              (fun b_row -> combined := Array.append a_row b_row :: !combined)
+              (probe Value.Null))
+      outer_rows;
+    let combined = List.rev !combined in
+    (* Synthesize an aggregate summary for the probe side. *)
+    let probe_summary =
+      {
+        Retrieval.rows_delivered = !probe_rows;
+        total_cost = !probe_cost;
+        cost_to_first_row = None;
+        tactic = !last_tactic;
+        goal = !last_goal;
+        goal_provenance =
+          Printf.sprintf "per-iteration dynamic probes (%d probes, %d memoized)" !probes
+            !hits;
+        trace = [];
+      }
+    in
+    summaries := !summaries @ [ (b_name, probe_summary) ];
+    (* Post-filter on the combined schema, then finalize. *)
+    let rows = combined in
+    let rows =
+      match post_pred with
+      | Predicate.True -> rows
+      | p ->
+          let schema = joined_schema ~sa ~sb ~a_name ~b_name in
+          List.filter (fun r -> Predicate.eval p schema r) rows
+    in
+    finalize_join db sel ~canon ~sa ~sb ~a_name ~b_name rows ?force_limit ()
+  end
+
+and joined_schema ~sa ~sb ~a_name ~b_name =
+  Schema.make
+    (List.map
+       (fun c -> Schema.col ~nullable:true (a_name ^ "." ^ c.Schema.name) c.Schema.ty)
+       (Schema.columns sa)
+    @ List.map
+        (fun c -> Schema.col ~nullable:true (b_name ^ "." ^ c.Schema.name) c.Schema.ty)
+        (Schema.columns sb))
+
+and finalize_join db sel ~canon ~sa ~sb ~a_name ~b_name rows ?force_limit () =
+  ignore db;
+  let schema = joined_schema ~sa ~sb ~a_name ~b_name in
+  let proj_cols =
+    match sel.Ast.projection with
+    | Ast.Star ->
+        List.map (fun c -> c.Schema.name) (Schema.columns schema)
+    | Ast.Cols cs -> List.map canon cs
+    | Ast.Aggs aggs ->
+        List.sort_uniq compare (List.concat_map (fun (a, _) -> List.map canon (agg_columns a)) aggs)
+  in
+  (* ORDER BY on the combined rows. *)
+  let rows =
+    if sel.Ast.order_by = [] then rows
+    else begin
+      let ids =
+        Array.of_list (List.map (fun c -> Schema.index_of schema (canon c)) sel.Ast.order_by)
+      in
+      List.stable_sort (Row.compare_at ids) rows
+    end
+  in
+  let project row = List.map (fun c -> Row.get row (Schema.index_of schema c)) proj_cols in
+  let projected =
+    match sel.Ast.projection with
+    | Ast.Aggs aggs ->
+        let values col = List.map (fun r -> Row.get r (Schema.index_of schema (canon col))) rows in
+        let non_null col = List.filter (fun v -> not (Value.is_null v)) (values col) in
+        let numeric col = List.filter_map Value.as_float (non_null col) in
+        let compute = function
+          | Ast.Count_star -> Value.int (List.length rows)
+          | Ast.Count c -> Value.int (List.length (non_null c))
+          | Ast.Sum c ->
+              let xs = numeric c in
+              if xs = [] then Value.Null
+              else begin
+                let s = List.fold_left ( +. ) 0.0 xs in
+                if Float.is_integer s then Value.int (int_of_float s) else Value.float s
+              end
+          | Ast.Avg c ->
+              let xs = numeric c in
+              if xs = [] then Value.Null
+              else Value.float (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+          | Ast.Min c -> (
+              match non_null c with
+              | [] -> Value.Null
+              | v :: rest ->
+                  List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v rest)
+          | Ast.Max c -> (
+              match non_null c with
+              | [] -> Value.Null
+              | v :: rest ->
+                  List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v rest)
+        in
+        [ List.map (fun (a, _) -> compute a) aggs ]
+    | Ast.Star | Ast.Cols _ ->
+        let projected = List.map project rows in
+        let projected =
+          if sel.Ast.distinct then
+            List.sort_uniq (fun a b -> List.compare Value.compare a b) projected
+          else projected
+        in
+        projected
+  in
+  let limit =
+    match (sel.Ast.limit, force_limit) with
+    | Some a, Some b -> Some (Int.min a b)
+    | Some a, None -> Some a
+    | None, l -> l
+  in
+  match limit with
+  | Some n -> List.filteri (fun i _ -> i < n) projected
+  | None -> projected
+
+
+let resolve_operand env = function
+  | Ast.Lit v -> v
+  | Ast.Host h -> (
+      match List.assoc_opt h env with
+      | Some v -> v
+      | None -> raise (Predicate.Unbound_param h))
+
+(* Materialize the qualifying (rid, row) pairs *before* mutating —
+   classic Halloween protection: an UPDATE that moves a row within an
+   index it is scanned through must not see it twice. *)
+let collect_pairs db env config (tbl : Table.t) where summaries =
+  let restriction =
+    match where with
+    | None -> Predicate.True
+    | Some c -> cond_to_predicate db env config summaries c
+  in
+  let req = Retrieval.request ~env restriction in
+  let cursor = Retrieval.open_ ?config tbl req in
+  let rec drain acc =
+    match Retrieval.fetch_pair cursor with
+    | Some p -> drain (p :: acc)
+    | None -> List.rev acc
+  in
+  let pairs = drain [] in
+  let summary = Retrieval.close cursor in
+  summaries := !summaries @ [ (Table.name tbl, summary) ];
+  pairs
+
+let execute_dml ?(env = []) ?config db stmt =
+  match stmt with
+  | Ast.Delete { from; where } ->
+      let tbl =
+        match Database.find_table db from with
+        | Some t -> t
+        | None -> fail "no such table: %s" from
+      in
+      let summaries = ref [] in
+      let pairs = collect_pairs db env config tbl where summaries in
+      let deleted =
+        List.fold_left
+          (fun acc (rid, _) -> if Table.delete tbl rid then acc + 1 else acc)
+          0 pairs
+      in
+      {
+        columns = [];
+        rows = [];
+        summaries = !summaries;
+        message = Some (Printf.sprintf "%d row(s) deleted from %s" deleted from);
+      }
+  | Ast.Update { table; assignments; where } ->
+      let tbl =
+        match Database.find_table db table with
+        | Some t -> t
+        | None -> fail "no such table: %s" table
+      in
+      let schema = Table.schema tbl in
+      let resolved =
+        List.map
+          (fun (col, o) ->
+            match Schema.find schema col with
+            | Some i -> (i, resolve_operand env o)
+            | None -> fail "unknown column %s" col)
+          assignments
+      in
+      let summaries = ref [] in
+      let pairs = collect_pairs db env config tbl where summaries in
+      let updated =
+        List.fold_left
+          (fun acc (rid, row) ->
+            let fresh = Array.copy row in
+            List.iter (fun (i, v) -> fresh.(i) <- v) resolved;
+            if Table.update tbl rid fresh then acc + 1 else acc)
+          0 pairs
+      in
+      {
+        columns = [];
+        rows = [];
+        summaries = !summaries;
+        message = Some (Printf.sprintf "%d row(s) updated in %s" updated table);
+      }
+  | _ -> assert false
+
+let header_of db sel =
+  match sel.Ast.projection with
+  | Ast.Aggs aggs -> List.map snd aggs
+  | Ast.Cols cs -> cs
+  | Ast.Star -> (
+      match sel.Ast.joined with
+      | None -> projection_columns db sel
+      | Some b_name ->
+          let cols t prefix =
+            List.map (fun c -> prefix ^ "." ^ c.Schema.name)
+              (Schema.columns (Table.schema t))
+          in
+          cols (Database.table db sel.Ast.table) sel.Ast.table
+          @ cols (Database.table db b_name) b_name)
+
+let execute ?(env = []) ?config db stmt =
+  match stmt with
+  | Ast.Select sel ->
+      let summaries = ref [] in
+      let rows = run_select db env config summaries sel ~outer:None () in
+      { columns = header_of db sel; rows; summaries = !summaries; message = None }
+  | Ast.Explain sel ->
+      let summaries = ref [] in
+      let _rows = run_select db env config summaries sel ~outer:None () in
+      let lines =
+        List.concat_map
+          (fun (tbl, (s : Retrieval.summary)) ->
+            (Printf.sprintf "retrieval of %s: goal %s (%s), tactic %s" tbl
+               (Goal.to_string s.Retrieval.goal)
+               s.Retrieval.goal_provenance
+               (Retrieval.tactic_to_string s.Retrieval.tactic))
+            :: List.map
+                 (fun e -> "  " ^ Rdb_exec.Trace.event_to_string e)
+                 s.Retrieval.trace
+            @ [ Printf.sprintf "  total cost %.2f, %d rows" s.Retrieval.total_cost
+                  s.Retrieval.rows_delivered ])
+          !summaries
+      in
+      {
+        columns = [ "plan" ];
+        rows = List.map (fun l -> [ Value.str l ]) lines;
+        summaries = !summaries;
+        message = None;
+      }
+  | Ast.Create_table (name, defs) ->
+      let schema =
+        Schema.make
+          (List.map
+             (fun d ->
+               Schema.col ~nullable:d.Ast.col_nullable d.Ast.col_name d.Ast.col_type)
+             defs)
+      in
+      let _ = Database.create_table db ~name schema in
+      { columns = []; rows = []; summaries = []; message = Some ("table " ^ name ^ " created") }
+  | Ast.Create_index { index; on_table; columns } ->
+      let table =
+        match Database.find_table db on_table with
+        | Some t -> t
+        | None -> fail "no such table: %s" on_table
+      in
+      let _ = Table.create_index table ~name:index ~columns () in
+      { columns = []; rows = []; summaries = []; message = Some ("index " ^ index ^ " created") }
+  | (Ast.Delete _ | Ast.Update _) as dml -> execute_dml ?env:(Some env) ?config db dml
+  | Ast.Insert { into; rows } ->
+      let table =
+        match Database.find_table db into with
+        | Some t -> t
+        | None -> fail "no such table: %s" into
+      in
+      let resolve = function
+        | Ast.Lit v -> v
+        | Ast.Host h -> (
+            match List.assoc_opt h env with
+            | Some v -> v
+            | None -> fail "unbound host variable :%s" h)
+      in
+      List.iter
+        (fun row -> ignore (Table.insert table (Array.of_list (List.map resolve row))))
+        rows;
+      {
+        columns = [];
+        rows = [];
+        summaries = [];
+        message = Some (Printf.sprintf "%d row(s) inserted into %s" (List.length rows) into);
+      }
+
+let execute_sql ?env ?config db src = execute ?env ?config db (Parser.parse_statement src)
+
+let goal_context_of_select = goal_context_of_select

@@ -1,0 +1,134 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Host_var of string
+  | Symbol of string
+  | Eof
+
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit t = out := t :: !out in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* line comment *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '-' then begin
+      emit (Symbol "-");
+      incr pos
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      emit (Ident (String.uppercase_ascii (String.sub src start (!pos - start))))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      let is_float = ref false in
+      if !pos < n && src.[!pos] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+      then begin
+        is_float := true;
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done
+      end;
+      (* exponent part: e / E with optional sign *)
+      (if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+         let after_sign =
+           match peek 1 with
+           | Some ('+' | '-') -> 2
+           | _ -> 1
+         in
+         match peek after_sign with
+         | Some d when is_digit d ->
+             is_float := true;
+             pos := !pos + after_sign;
+             while !pos < n && is_digit src.[!pos] do
+               incr pos
+             done
+         | _ -> ()
+       end);
+      if !is_float then
+        emit (Float_lit (float_of_string (String.sub src start (!pos - start))))
+      else emit (Int_lit (int_of_string (String.sub src start (!pos - start))))
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then raise (Lex_error ("unterminated string", !pos));
+        let c = src.[!pos] in
+        if c = '\'' then begin
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2;
+            loop ()
+          end
+          else incr pos
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr pos;
+          loop ()
+        end
+      in
+      loop ();
+      emit (String_lit (Buffer.contents buf))
+    end
+    else if c = ':' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      if !pos = start then raise (Lex_error ("expected host variable name after ':'", !pos));
+      emit (Host_var (String.uppercase_ascii (String.sub src start (!pos - start))))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "<>" | "!=" | "<=" | ">=" ->
+          emit (Symbol two);
+          pos := !pos + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | '*' | '=' | '<' | '>' | ';' | '.' ->
+              emit (Symbol (String.make 1 c));
+              incr pos
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !pos)))
+    end
+  done;
+  emit Eof;
+  List.rev !out
+
+let token_to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Host_var v -> ":" ^ v
+  | Symbol s -> s
+  | Eof -> "<eof>"

@@ -1,0 +1,21 @@
+(** SQL tokenizer.
+
+    Case-insensitive keywords, 'single-quoted' strings with doubled-
+    quote escapes, integer and float literals, [:name] host variables,
+    and [--] line comments. *)
+
+type token =
+  | Ident of string  (** uppercased *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Host_var of string
+  | Symbol of string  (** one of ( ) , * = <> != < <= > >= ; . *)
+  | Eof
+
+exception Lex_error of string * int  (** message, position *)
+
+val tokenize : string -> token list
+(** Ends with [Eof].  Raises {!Lex_error}. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,389 @@
+open Rdb_data
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let expect_symbol st s =
+  match peek st with
+  | Lexer.Symbol x when x = s -> advance st
+  | t -> fail "expected '%s', got %s" s (Lexer.token_to_string t)
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.Ident x when x = kw -> advance st
+  | t -> fail "expected %s, got %s" kw (Lexer.token_to_string t)
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.Ident x when x = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_symbol st s =
+  match peek st with
+  | Lexer.Symbol x when x = s ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.Ident x ->
+      advance st;
+      x
+  | t -> fail "expected identifier, got %s" (Lexer.token_to_string t)
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "BETWEEN"; "IN"; "LIKE"; "IS";
+    "NULL"; "ORDER"; "BY"; "LIMIT"; "TO"; "ROWS"; "OPTIMIZE"; "FOR"; "FAST"; "FIRST";
+    "TOTAL"; "TIME"; "DISTINCT"; "EXISTS"; "VALUES"; "INSERT"; "INTO"; "CREATE";
+    "TABLE"; "INDEX"; "ON"; "EXPLAIN"; "DELETE"; "UPDATE"; "SET" ]
+
+let column st =
+  let name = ident st in
+  if List.mem name keywords then fail "unexpected keyword %s where a column was expected" name;
+  (* optional qualifier: TABLE.COLUMN *)
+  match st.toks with
+  | Lexer.Symbol "." :: Lexer.Ident part :: _ when not (List.mem part keywords) ->
+      advance st;
+      advance st;
+      name ^ "." ^ part
+  | _ -> name
+
+let rec operand st =
+  match peek st with
+  | Lexer.Symbol "-" -> (
+      advance st;
+      match operand st with
+      | Ast.Lit (Value.Int i) -> Ast.Lit (Value.int (-i))
+      | Ast.Lit (Value.Float f) -> Ast.Lit (Value.float (-.f))
+      | _ -> fail "expected a numeric literal after unary minus")
+  | Lexer.Int_lit i ->
+      advance st;
+      Ast.Lit (Value.int i)
+  | Lexer.Float_lit f ->
+      advance st;
+      Ast.Lit (Value.float f)
+  | Lexer.String_lit s ->
+      advance st;
+      Ast.Lit (Value.str s)
+  | Lexer.Host_var v ->
+      advance st;
+      Ast.Host v
+  | Lexer.Ident "NULL" ->
+      advance st;
+      Ast.Lit Value.Null
+  | t -> fail "expected literal or host variable, got %s" (Lexer.token_to_string t)
+
+let comparison_of_symbol = function
+  | "=" -> Some Ast.Eq
+  | "<>" | "!=" -> Some Ast.Ne
+  | "<" -> Some Ast.Lt
+  | "<=" -> Some Ast.Le
+  | ">" -> Some Ast.Gt
+  | ">=" -> Some Ast.Ge
+  | _ -> None
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let first = parse_and st in
+  let rec loop acc =
+    if accept_kw st "OR" then loop (parse_and st :: acc) else List.rev acc
+  in
+  match loop [ first ] with [ one ] -> one | many -> Ast.C_or many
+
+and parse_and st =
+  let first = parse_not st in
+  let rec loop acc =
+    if accept_kw st "AND" then loop (parse_not st :: acc) else List.rev acc
+  in
+  match loop [ first ] with [ one ] -> one | many -> Ast.C_and many
+
+and parse_not st =
+  if accept_kw st "NOT" then Ast.C_not (parse_not st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Symbol "(" ->
+      advance st;
+      let c = parse_cond st in
+      expect_symbol st ")";
+      c
+  | Lexer.Ident "EXISTS" ->
+      advance st;
+      expect_symbol st "(";
+      let sub = parse_select_body st in
+      expect_symbol st ")";
+      Ast.C_exists sub
+  | Lexer.Ident "TRUE" ->
+      advance st;
+      Ast.C_true
+  | Lexer.Ident "FALSE" ->
+      advance st;
+      Ast.C_false
+  | _ ->
+      let col = column st in
+      parse_rest st col
+
+and parse_rest st col =
+  match peek st with
+  | Lexer.Symbol s when comparison_of_symbol s <> None -> (
+      advance st;
+      let op = Option.get (comparison_of_symbol s) in
+      match peek st with
+      | Lexer.Ident name when name <> "NULL" && not (List.mem name keywords) ->
+          Ast.C_cmp_col (col, op, column st)
+      | _ -> Ast.C_cmp (col, op, operand st))
+  | Lexer.Ident "BETWEEN" ->
+      advance st;
+      let lo = operand st in
+      expect_kw st "AND";
+      let hi = operand st in
+      Ast.C_between (col, lo, hi)
+  | Lexer.Ident "NOT" ->
+      advance st;
+      (match peek st with
+      | Lexer.Ident "IN" -> Ast.C_not (parse_in st col)
+      | Lexer.Ident "LIKE" -> Ast.C_not (parse_like st col)
+      | t -> fail "expected IN or LIKE after NOT, got %s" (Lexer.token_to_string t))
+  | Lexer.Ident "IN" -> parse_in st col
+  | Lexer.Ident "LIKE" -> parse_like st col
+  | Lexer.Ident "IS" ->
+      advance st;
+      if accept_kw st "NOT" then begin
+        expect_kw st "NULL";
+        Ast.C_is_not_null col
+      end
+      else begin
+        expect_kw st "NULL";
+        Ast.C_is_null col
+      end
+  | t -> fail "expected a predicate after %s, got %s" col (Lexer.token_to_string t)
+
+and parse_in st col =
+  expect_kw st "IN";
+  expect_symbol st "(";
+  let result =
+    match peek st with
+    | Lexer.Ident "SELECT" -> Ast.C_in_select (col, parse_select_body st)
+    | _ ->
+        let rec items acc =
+          let o = operand st in
+          if accept_symbol st "," then items (o :: acc) else List.rev (o :: acc)
+        in
+        Ast.C_in_list (col, items [])
+  in
+  expect_symbol st ")";
+  result
+
+and parse_like st col =
+  expect_kw st "LIKE";
+  match peek st with
+  | Lexer.String_lit s ->
+      advance st;
+      Ast.C_like (col, s)
+  | t -> fail "expected pattern string after LIKE, got %s" (Lexer.token_to_string t)
+
+and parse_projection st =
+  if accept_symbol st "*" then Ast.Star
+  else begin
+    let agg_kw = function
+      | "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" -> true
+      | _ -> false
+    in
+    match peek st with
+    | Lexer.Ident k when agg_kw k && st.toks <> [] -> (
+        (* lookahead for '(' to distinguish aggregate from column *)
+        match st.toks with
+        | _ :: Lexer.Symbol "(" :: _ ->
+            let rec aggs acc =
+              let k = ident st in
+              expect_symbol st "(";
+              let a =
+                match k with
+                | "COUNT" ->
+                    if accept_symbol st "*" then Ast.Count_star else Ast.Count (column st)
+                | "SUM" -> Ast.Sum (column st)
+                | "AVG" -> Ast.Avg (column st)
+                | "MIN" -> Ast.Min (column st)
+                | "MAX" -> Ast.Max (column st)
+                | _ -> fail "unknown aggregate %s" k
+              in
+              expect_symbol st ")";
+              let acc = (a, Ast.agg_name a) :: acc in
+              if accept_symbol st "," then aggs acc else List.rev acc
+            in
+            Ast.Aggs (aggs [])
+        | _ ->
+            let rec cols acc =
+              let c = column st in
+              if accept_symbol st "," then cols (c :: acc) else List.rev (c :: acc)
+            in
+            Ast.Cols (cols []))
+    | _ ->
+        let rec cols acc =
+          let c = column st in
+          if accept_symbol st "," then cols (c :: acc) else List.rev (c :: acc)
+        in
+        Ast.Cols (cols [])
+  end
+
+and parse_select_body st =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let projection = parse_projection st in
+  expect_kw st "FROM";
+  let table = ident st in
+  let joined = if accept_symbol st "," then Some (ident st) else None in
+  let where = if accept_kw st "WHERE" then Some (parse_cond st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec cols acc =
+        let c = column st in
+        if accept_symbol st "," then cols (c :: acc) else List.rev (c :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then begin
+      let _ = accept_kw st "TO" in
+      match peek st with
+      | Lexer.Int_lit n ->
+          advance st;
+          let _ = accept_kw st "ROWS" in
+          if n < 0 then fail "negative LIMIT";
+          Some n
+      | t -> fail "expected row count after LIMIT, got %s" (Lexer.token_to_string t)
+    end
+    else None
+  in
+  let optimize =
+    if accept_kw st "OPTIMIZE" then begin
+      expect_kw st "FOR";
+      if accept_kw st "FAST" then begin
+        expect_kw st "FIRST";
+        Some Rdb_core.Goal.Fast_first
+      end
+      else begin
+        expect_kw st "TOTAL";
+        expect_kw st "TIME";
+        Some Rdb_core.Goal.Total_time
+      end
+    end
+    else None
+  in
+  { Ast.distinct; projection; table; joined; where; order_by; limit; optimize }
+
+let parse_statement_state st =
+  match peek st with
+  | Lexer.Ident "SELECT" -> Ast.Select (parse_select_body st)
+  | Lexer.Ident "EXPLAIN" ->
+      advance st;
+      Ast.Explain (parse_select_body st)
+  | Lexer.Ident "CREATE" -> (
+      advance st;
+      match peek st with
+      | Lexer.Ident "TABLE" ->
+          advance st;
+          let name = ident st in
+          expect_symbol st "(";
+          let rec cols acc =
+            let col_name = column st in
+            let col_type =
+              match ident st with
+              | "INT" | "INTEGER" -> Value.T_int
+              | "FLOAT" | "REAL" | "DOUBLE" -> Value.T_float
+              | "STRING" | "TEXT" | "VARCHAR" | "CHAR" ->
+                  (* optional (n) ignored *)
+                  if accept_symbol st "(" then begin
+                    (match peek st with Lexer.Int_lit _ -> advance st | _ -> ());
+                    expect_symbol st ")"
+                  end;
+                  Value.T_str
+              | t -> fail "unknown type %s" t
+            in
+            let col_nullable = accept_kw st "NULL" in
+            let acc = { Ast.col_name; col_type; col_nullable } :: acc in
+            if accept_symbol st "," then cols acc else List.rev acc
+          in
+          let defs = cols [] in
+          expect_symbol st ")";
+          Ast.Create_table (name, defs)
+      | Lexer.Ident "INDEX" ->
+          advance st;
+          let index = ident st in
+          expect_kw st "ON";
+          let on_table = ident st in
+          expect_symbol st "(";
+          let rec cols acc =
+            let c = column st in
+            if accept_symbol st "," then cols (c :: acc) else List.rev (c :: acc)
+          in
+          let columns = cols [] in
+          expect_symbol st ")";
+          Ast.Create_index { index; on_table; columns }
+      | t -> fail "expected TABLE or INDEX after CREATE, got %s" (Lexer.token_to_string t))
+  | Lexer.Ident "INSERT" ->
+      advance st;
+      expect_kw st "INTO";
+      let into = ident st in
+      expect_kw st "VALUES";
+      let rec rows acc =
+        expect_symbol st "(";
+        let rec vals acc =
+          let v = operand st in
+          if accept_symbol st "," then vals (v :: acc) else List.rev (v :: acc)
+        in
+        let row = vals [] in
+        expect_symbol st ")";
+        let acc = row :: acc in
+        if accept_symbol st "," then rows acc else List.rev acc
+      in
+      Ast.Insert { into; rows = rows [] }
+  | Lexer.Ident "DELETE" ->
+      advance st;
+      expect_kw st "FROM";
+      let from = ident st in
+      let where = if accept_kw st "WHERE" then Some (parse_cond st) else None in
+      Ast.Delete { from; where }
+  | Lexer.Ident "UPDATE" ->
+      advance st;
+      let table = ident st in
+      expect_kw st "SET";
+      let rec assignments acc =
+        let col = column st in
+        expect_symbol st "=";
+        let v = operand st in
+        let acc = (col, v) :: acc in
+        if accept_symbol st "," then assignments acc else List.rev acc
+      in
+      let assignments = assignments [] in
+      let where = if accept_kw st "WHERE" then Some (parse_cond st) else None in
+      Ast.Update { table; assignments; where }
+  | t -> fail "expected a statement, got %s" (Lexer.token_to_string t)
+
+let finish st v =
+  let _ = accept_symbol st ";" in
+  match peek st with
+  | Lexer.Eof -> v
+  | t -> fail "trailing input: %s" (Lexer.token_to_string t)
+
+let parse_statement src =
+  let st = { toks = Lexer.tokenize src } in
+  finish st (parse_statement_state st)
+
+let parse_select src =
+  let st = { toks = Lexer.tokenize src } in
+  finish st (parse_select_body st)

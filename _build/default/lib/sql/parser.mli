@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}).
+
+    Accepted statement forms:
+
+    {v
+    SELECT [DISTINCT] * | cols | aggs FROM table
+      [WHERE cond] [ORDER BY cols] [LIMIT [TO] n [ROWS]]
+      [OPTIMIZE FOR FAST FIRST | TOTAL TIME]
+    EXPLAIN <select>
+    CREATE TABLE t (col TYPE [NULL], ...)
+    CREATE INDEX i ON t (cols)
+    INSERT INTO t VALUES (v, ...), ...
+    DELETE FROM t [WHERE cond]
+    UPDATE t SET col = v, ... [WHERE cond]
+    v}
+
+    Conditions support comparisons, BETWEEN, [NOT] IN (list or
+    subquery), EXISTS (subquery), [NOT] LIKE, IS [NOT] NULL, AND / OR /
+    NOT, parentheses and [:host] variables. *)
+
+exception Parse_error of string
+
+val parse_statement : string -> Ast.statement
+val parse_select : string -> Ast.select
+(** Raise {!Parse_error} or {!Lexer.Lex_error} on bad input. *)

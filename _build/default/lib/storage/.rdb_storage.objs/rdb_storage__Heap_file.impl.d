@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Buffer_pool Bytes Cost Int Rdb_data Rdb_util Rid Row

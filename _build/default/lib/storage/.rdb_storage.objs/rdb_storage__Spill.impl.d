@@ -1,0 +1,1 @@
+lib/storage/spill.ml: Array Buffer_pool Rdb_data Rdb_util Rid

@@ -1,0 +1,1 @@
+lib/storage/spill.mli: Buffer_pool Cost Rdb_data Rid

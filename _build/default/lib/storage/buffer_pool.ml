@@ -1,0 +1,107 @@
+type block = { file : int; index : int }
+
+(* Doubly-linked LRU list threaded through a hash table. *)
+type node = {
+  block : block;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  table : (block, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+  mutable count : int;
+  mutable next_file : int;
+  global : Cost.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (capacity * 2);
+    head = None;
+    tail = None;
+    count = 0;
+    next_file = 0;
+    global = Cost.create ();
+  }
+
+let capacity t = t.cap
+let resident t = t.count
+
+let fresh_file t =
+  let id = t.next_file in
+  t.next_file <- id + 1;
+  id
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.block;
+      t.count <- t.count - 1
+
+let make_resident t block =
+  let n = { block; prev = None; next = None } in
+  if t.count >= t.cap then evict_lru t;
+  Hashtbl.replace t.table block n;
+  push_front t n;
+  t.count <- t.count + 1
+
+let touch t meter block =
+  match Hashtbl.find_opt t.table block with
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      Cost.charge_logical meter;
+      Cost.charge_logical t.global
+  | None ->
+      make_resident t block;
+      Cost.charge_physical meter;
+      Cost.charge_physical t.global
+
+let write t meter block =
+  Cost.charge_write meter;
+  Cost.charge_write t.global;
+  match Hashtbl.find_opt t.table block with
+  | Some n ->
+      unlink t n;
+      push_front t n
+  | None -> make_resident t block
+
+let is_resident t block = Hashtbl.mem t.table block
+
+let evict_file t file =
+  let doomed =
+    Hashtbl.fold (fun b n acc -> if b.file = file then n :: acc else acc) t.table []
+  in
+  List.iter
+    (fun n ->
+      unlink t n;
+      Hashtbl.remove t.table n.block;
+      t.count <- t.count - 1)
+    doomed
+
+let flush t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.count <- 0
+
+let global_meter t = t.global

@@ -1,0 +1,42 @@
+(** LRU buffer pool simulation.
+
+    The pool does not hold data — backing stores keep their contents in
+    memory — it simulates the *caching behaviour* of a page buffer:
+    an access to a resident block is a cheap logical read; a miss is a
+    physical read that evicts the least-recently-used block.  Heap
+    pages, index nodes and spill blocks all live in one pool, which
+    reproduces the paper's §3(c) uncertainty: the cost of a scan
+    depends on what other scans (foreground vs background, competing
+    strategies, other queries) have pulled in. *)
+
+type t
+
+type block = { file : int; index : int }
+
+val create : capacity:int -> t
+(** [capacity] in blocks.  Raises [Invalid_argument] if < 1. *)
+
+val capacity : t -> int
+val resident : t -> int
+
+val fresh_file : t -> int
+(** Allocate a new file id (heap, index, or spill space). *)
+
+val touch : t -> Cost.t -> block -> unit
+(** Access a block for reading: charge logical on hit, physical on
+    miss (and make it resident, evicting if full). *)
+
+val write : t -> Cost.t -> block -> unit
+(** Access a block for writing: charges a block write; the block
+    becomes resident. *)
+
+val is_resident : t -> block -> bool
+
+val evict_file : t -> int -> unit
+(** Drop all resident blocks of a file (file destruction). *)
+
+val flush : t -> unit
+(** Empty the pool (cold-cache experiments). *)
+
+val global_meter : t -> Cost.t
+(** Pool-lifetime accumulated charges (all meters combined). *)

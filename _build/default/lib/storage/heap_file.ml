@@ -1,0 +1,156 @@
+open Rdb_data
+module Dynarray = Rdb_util.Dynarray
+
+type page = {
+  slots : Bytes.t option Dynarray.t; (* None = tombstone *)
+  mutable bytes_used : int;
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  file : int;
+  page_bytes : int;
+  pages : page Dynarray.t;
+  mutable live : int;
+  mutable max_slots : int;
+}
+
+let create ?(page_bytes = 8192) pool =
+  if page_bytes < 64 then invalid_arg "Heap_file.create: page too small";
+  {
+    pool;
+    file = Buffer_pool.fresh_file pool;
+    page_bytes;
+    pages = Dynarray.create ();
+    live = 0;
+    max_slots = 1;
+  }
+
+let file_id t = t.file
+let page_count t = Dynarray.length t.pages
+let record_count t = t.live
+
+let records_per_page t =
+  let pages = Int.max 1 (page_count t) in
+  Int.max 1 ((t.live + pages - 1) / pages)
+
+let block t index : Buffer_pool.block = { file = t.file; index }
+
+let insert t row =
+  let encoded = Row.encode row in
+  let size = Bytes.length encoded + 4 (* slot directory entry *) in
+  let page, page_no =
+    match Dynarray.last t.pages with
+    | Some p when p.bytes_used + size <= t.page_bytes -> (p, Dynarray.length t.pages - 1)
+    | _ ->
+        let p = { slots = Dynarray.create (); bytes_used = 0 } in
+        Dynarray.push t.pages p;
+        (p, Dynarray.length t.pages - 1)
+  in
+  let slot = Dynarray.length page.slots in
+  Dynarray.push page.slots (Some encoded);
+  page.bytes_used <- page.bytes_used + size;
+  t.live <- t.live + 1;
+  t.max_slots <- Int.max t.max_slots (slot + 1);
+  Rid.make ~page:page_no ~slot
+
+let get_page t meter page_no =
+  if page_no < 0 || page_no >= Dynarray.length t.pages then None
+  else begin
+    Buffer_pool.touch t.pool meter (block t page_no);
+    Some (Dynarray.get t.pages page_no)
+  end
+
+let fetch t meter (rid : Rid.t) =
+  match get_page t meter rid.page with
+  | None -> None
+  | Some page ->
+      if rid.slot < 0 || rid.slot >= Dynarray.length page.slots then None
+      else begin
+        match Dynarray.get page.slots rid.slot with
+        | None -> None
+        | Some bytes ->
+            Cost.charge_cpu meter 1;
+            Some (Row.decode bytes)
+      end
+
+let delete t meter (rid : Rid.t) =
+  match get_page t meter rid.page with
+  | None -> false
+  | Some page ->
+      if rid.slot < 0 || rid.slot >= Dynarray.length page.slots then false
+      else begin
+        match Dynarray.get page.slots rid.slot with
+        | None -> false
+        | Some bytes ->
+            Dynarray.set page.slots rid.slot None;
+            page.bytes_used <- page.bytes_used - (Bytes.length bytes + 4);
+            t.live <- t.live - 1;
+            Buffer_pool.write t.pool meter (block t rid.page);
+            true
+      end
+
+let update t meter (rid : Rid.t) row =
+  match get_page t meter rid.page with
+  | None -> false
+  | Some page ->
+      if rid.slot < 0 || rid.slot >= Dynarray.length page.slots then false
+      else begin
+        match Dynarray.get page.slots rid.slot with
+        | None -> false
+        | Some old ->
+            let encoded = Row.encode row in
+            Dynarray.set page.slots rid.slot (Some encoded);
+            page.bytes_used <- page.bytes_used - Bytes.length old + Bytes.length encoded;
+            Buffer_pool.write t.pool meter (block t rid.page);
+            true
+      end
+
+type cursor = {
+  heap : t;
+  meter : Cost.t;
+  mutable page_no : int;
+  mutable slot : int;
+  mutable loaded : page option;
+}
+
+let scan t meter = { heap = t; meter; page_no = -1; slot = 0; loaded = None }
+
+let rec next c =
+  match c.loaded with
+  | None ->
+      let page_no = c.page_no + 1 in
+      if page_no >= page_count c.heap then None
+      else begin
+        c.page_no <- page_no;
+        c.slot <- 0;
+        c.loaded <- get_page c.heap c.meter page_no;
+        next c
+      end
+  | Some page ->
+      if c.slot >= Dynarray.length page.slots then begin
+        c.loaded <- None;
+        next c
+      end
+      else begin
+        let slot = c.slot in
+        c.slot <- slot + 1;
+        match Dynarray.get page.slots slot with
+        | None -> next c
+        | Some bytes ->
+            Cost.charge_cpu c.meter 1;
+            Some (Rid.make ~page:c.page_no ~slot, Row.decode bytes)
+      end
+
+let iter t meter f =
+  let c = scan t meter in
+  let rec loop () =
+    match next c with
+    | None -> ()
+    | Some (rid, row) ->
+        f rid row;
+        loop ()
+  in
+  loop ()
+
+let slots_per_page_hint t = t.max_slots

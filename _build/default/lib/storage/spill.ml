@@ -1,0 +1,65 @@
+open Rdb_data
+module Dynarray = Rdb_util.Dynarray
+
+type t = {
+  pool : Buffer_pool.t;
+  file : int;
+  cap : int;
+  blocks : Rid.t array Dynarray.t; (* sealed full blocks *)
+  tail : Rid.t Dynarray.t;
+  mutable sealed : bool;
+}
+
+let create ?(rids_per_block = 1024) pool =
+  if rids_per_block < 1 then invalid_arg "Spill.create";
+  {
+    pool;
+    file = Buffer_pool.fresh_file pool;
+    cap = rids_per_block;
+    blocks = Dynarray.create ();
+    tail = Dynarray.create ();
+    sealed = false;
+  }
+
+let flush_tail t meter =
+  if Dynarray.length t.tail > 0 then begin
+    let index = Dynarray.length t.blocks in
+    Dynarray.push t.blocks (Dynarray.to_array t.tail);
+    Dynarray.clear t.tail;
+    Buffer_pool.write t.pool meter { file = t.file; index }
+  end
+
+let append t meter rids =
+  if t.sealed then invalid_arg "Spill.append: sealed";
+  Array.iter
+    (fun rid ->
+      Dynarray.push t.tail rid;
+      if Dynarray.length t.tail >= t.cap then flush_tail t meter)
+    rids
+
+let seal t meter =
+  if not t.sealed then begin
+    flush_tail t meter;
+    t.sealed <- true
+  end
+
+let length t =
+  Dynarray.fold_left (fun acc b -> acc + Array.length b) 0 t.blocks
+  + Dynarray.length t.tail
+
+let block_count t = Dynarray.length t.blocks + if Dynarray.is_empty t.tail then 0 else 1
+
+let iter t meter f =
+  Dynarray.iteri
+    (fun index block ->
+      Buffer_pool.touch t.pool meter { file = t.file; index };
+      Array.iter f block)
+    t.blocks;
+  Dynarray.iter f t.tail
+
+let to_array t meter =
+  let out = Dynarray.create () in
+  iter t meter (Dynarray.push out);
+  Dynarray.to_array out
+
+let destroy t = Buffer_pool.evict_file t.pool t.file

@@ -1,0 +1,34 @@
+(** Temporary spill storage for RID lists (paper §6).
+
+    When a Jscan RID list overflows its memory buffer it "flows into a
+    temporary table".  A spill file is an append-only sequence of
+    fixed-capacity RID blocks; writing a block charges a block write,
+    reading one back goes through the buffer pool like any other
+    block. *)
+
+open Rdb_data
+
+type t
+
+val create : ?rids_per_block:int -> Buffer_pool.t -> t
+(** [rids_per_block] defaults to 1024 (8 KiB at 8 bytes per RID). *)
+
+val append : t -> Cost.t -> Rid.t array -> unit
+(** Append RIDs, flushing full blocks as they fill. *)
+
+val seal : t -> Cost.t -> unit
+(** Flush the partial tail block; no more appends accepted. *)
+
+val length : t -> int
+(** Total RIDs stored (including the unsealed tail). *)
+
+val block_count : t -> int
+
+val iter : t -> Cost.t -> (Rid.t -> unit) -> unit
+(** Stream all RIDs back in append order, charging one access per
+    block. *)
+
+val to_array : t -> Cost.t -> Rid.t array
+
+val destroy : t -> unit
+(** Drop the spill blocks from the buffer pool. *)

@@ -1,0 +1,100 @@
+let resample ys width =
+  let n = Array.length ys in
+  if n = 0 then Array.make width 0.0
+  else
+    Array.init width (fun c ->
+        let lo = c * n / width and hi = Int.max (((c + 1) * n / width) - 1) (c * n / width) in
+        let acc = ref 0.0 in
+        for i = lo to hi do
+          acc := !acc +. ys.(i)
+        done;
+        !acc /. float_of_int (hi - lo + 1))
+
+let bounds series =
+  let lo = ref infinity and hi = ref neg_infinity in
+  List.iter
+    (Array.iter (fun y ->
+         if y < !lo then lo := y;
+         if y > !hi then hi := y))
+    series;
+  if !lo > !hi then (0.0, 1.0)
+  else if Stats.float_equal !lo !hi then (!lo -. 0.5, !hi +. 0.5)
+  else (!lo, !hi)
+
+let render ~width ~height ~title ~x_label named =
+  let resampled = List.map (fun (name, glyph, ys) -> (name, glyph, resample ys width)) named in
+  let lo, hi = bounds (List.map (fun (_, _, ys) -> ys) resampled) in
+  let lo = Float.min lo 0.0 in
+  let grid = Array.make_matrix height width ' ' in
+  let row_of y =
+    let frac = (y -. lo) /. (hi -. lo) in
+    let r = int_of_float (Float.round (frac *. float_of_int (height - 1))) in
+    height - 1 - Int.max 0 (Int.min (height - 1) r)
+  in
+  List.iter
+    (fun (_, glyph, ys) ->
+      Array.iteri
+        (fun c y ->
+          let r = row_of y in
+          grid.(r).(c) <- glyph)
+        ys)
+    resampled;
+  let buf = Buffer.create 1024 in
+  (match title with Some t -> Buffer.add_string buf (t ^ "\n") | None -> ());
+  Array.iteri
+    (fun r line ->
+      let label =
+        if r = 0 then Printf.sprintf "%8.3g |" hi
+        else if r = height - 1 then Printf.sprintf "%8.3g |" lo
+        else "         |"
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("         +" ^ String.make width '-' ^ "\n");
+  (match x_label with
+  | Some l -> Buffer.add_string buf ("          " ^ l ^ "\n")
+  | None -> ());
+  let legend =
+    List.filter_map
+      (fun (name, glyph, _) -> if name = "" then None else Some (Printf.sprintf "%c = %s" glyph name))
+      resampled
+  in
+  if legend <> [] then Buffer.add_string buf ("          " ^ String.concat "   " legend ^ "\n");
+  Buffer.contents buf
+
+let plot ?(width = 60) ?(height = 14) ?title ?x_label ys =
+  render ~width ~height ~title ~x_label [ ("", '*', ys) ]
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let multi_plot ?(width = 60) ?(height = 14) ?title named =
+  let named =
+    List.mapi (fun i (name, ys) -> (name, glyphs.(i mod Array.length glyphs), ys)) named
+  in
+  render ~width ~height ~title ~x_label:None named
+
+let is_number s =
+  match float_of_string_opt (String.trim s) with Some _ -> true | None -> false
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> Int.max acc (List.length r)) 0 all in
+  let cell row c = match List.nth_opt row c with Some s -> s | None -> "" in
+  let width c = List.fold_left (fun acc r -> Int.max acc (String.length (cell r c))) 0 all in
+  let widths = Array.init cols width in
+  let numeric =
+    Array.init cols (fun c ->
+        rows <> [] && List.for_all (fun r -> cell r c = "" || is_number (cell r c)) rows)
+  in
+  let pad c s =
+    let w = widths.(c) in
+    let n = w - String.length s in
+    if n <= 0 then s
+    else if numeric.(c) then String.make n ' ' ^ s
+    else s ^ String.make n ' '
+  in
+  let line row = String.concat "  " (List.init cols (fun c -> pad c (cell row c))) in
+  let rule = String.concat "  " (List.init cols (fun c -> String.make widths.(c) '-')) in
+  String.concat "\n" ((line header :: rule :: List.map line rows) @ [ "" ])

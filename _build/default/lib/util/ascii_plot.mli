@@ -1,0 +1,27 @@
+(** Terminal plotting used by the benchmark harness to regenerate the
+    paper's figures (2.1, 2.2) as ASCII art, and to print aligned
+    result tables. *)
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  float array ->
+  string
+(** [plot ys] renders the series as a column chart scaled to
+    [height] rows by [width] columns (the series is resampled to
+    [width] buckets by averaging).  Y axis is annotated with min/max. *)
+
+val multi_plot :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  (string * float array) list ->
+  string
+(** Overlay several series, each drawn with its own glyph; a legend
+    line maps glyphs to names. *)
+
+val table : header:string list -> string list list -> string
+(** Aligned text table with a header rule.  Columns are right-aligned
+    when every cell parses as a number, left-aligned otherwise. *)

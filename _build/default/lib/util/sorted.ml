@@ -1,0 +1,81 @@
+let lower_bound ~cmp a ~len x =
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp a.(mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let upper_bound ~cmp a ~len x =
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp a.(mid) x <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem ~cmp a ~len x =
+  let i = lower_bound ~cmp a ~len x in
+  i < len && cmp a.(i) x = 0
+
+let intersect ~cmp a b =
+  let out = Dynarray.create () in
+  let i = ref 0 and j = ref 0 in
+  let la = Array.length a and lb = Array.length b in
+  while !i < la && !j < lb do
+    let c = cmp a.(!i) b.(!j) in
+    if c = 0 then begin
+      Dynarray.push out a.(!i);
+      incr i;
+      incr j
+    end
+    else if c < 0 then incr i
+    else incr j
+  done;
+  Dynarray.to_array out
+
+let union ~cmp a b =
+  let out = Dynarray.create () in
+  let i = ref 0 and j = ref 0 in
+  let la = Array.length a and lb = Array.length b in
+  while !i < la || !j < lb do
+    if !i >= la then begin
+      Dynarray.push out b.(!j);
+      incr j
+    end
+    else if !j >= lb then begin
+      Dynarray.push out a.(!i);
+      incr i
+    end
+    else begin
+      let c = cmp a.(!i) b.(!j) in
+      if c = 0 then begin
+        Dynarray.push out a.(!i);
+        incr i;
+        incr j
+      end
+      else if c < 0 then begin
+        Dynarray.push out a.(!i);
+        incr i
+      end
+      else begin
+        Dynarray.push out b.(!j);
+        incr j
+      end
+    end
+  done;
+  Dynarray.to_array out
+
+let merge_dedup ~cmp a =
+  let a = Array.copy a in
+  Array.sort cmp a;
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let out = Dynarray.create () in
+    Dynarray.push out a.(0);
+    for i = 1 to n - 1 do
+      if cmp a.(i) a.(i - 1) <> 0 then Dynarray.push out a.(i)
+    done;
+    Dynarray.to_array out
+  end

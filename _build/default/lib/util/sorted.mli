@@ -1,0 +1,20 @@
+(** Binary-search helpers over sorted arrays, shared by B-tree nodes
+    and sorted RID lists. *)
+
+val lower_bound : cmp:('a -> 'a -> int) -> 'a array -> len:int -> 'a -> int
+(** Index of the first element [>= x] within the first [len] slots of a
+    sorted array; [len] if all are smaller. *)
+
+val upper_bound : cmp:('a -> 'a -> int) -> 'a array -> len:int -> 'a -> int
+(** Index of the first element [> x]. *)
+
+val mem : cmp:('a -> 'a -> int) -> 'a array -> len:int -> 'a -> bool
+
+val intersect : cmp:('a -> 'a -> int) -> 'a array -> 'a array -> 'a array
+(** Intersection of two sorted deduplicated arrays. *)
+
+val union : cmp:('a -> 'a -> int) -> 'a array -> 'a array -> 'a array
+(** Union of two sorted deduplicated arrays. *)
+
+val merge_dedup : cmp:('a -> 'a -> int) -> 'a array -> 'a array
+(** Sort a copy and drop duplicates. *)

@@ -1,0 +1,27 @@
+(** Small numeric helpers shared by the estimator, the distribution
+    algebra, and the benchmark reporting code. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,1]: linear-interpolated percentile
+    of a copy of [xs] sorted ascending.  Raises [Invalid_argument] on
+    an empty array. *)
+
+val median : float array -> float
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values. *)
+
+val clamp : float -> lo:float -> hi:float -> float
+
+val log2 : float -> float
+
+val float_equal : ?eps:float -> float -> float -> bool
+(** Absolute-difference comparison, default [eps = 1e-9]. *)

@@ -1,0 +1,23 @@
+let blocks ~n ~per_block ~k =
+  if n <= 0 || per_block <= 0 || k <= 0 then 0.0
+  else begin
+    let b = (n + per_block - 1) / per_block in
+    if k >= n then float_of_int b
+    else begin
+      (* prob. a given block of [m] records receives none of the [k]
+         draws: prod_{i=0}^{k-1} (n - m - i) / (n - i), computed in log
+         space for stability on large tables. *)
+      let m = per_block in
+      if n - m < k then float_of_int b
+      else begin
+        let log_miss = ref 0.0 in
+        for i = 0 to k - 1 do
+          log_miss :=
+            !log_miss
+            +. log (float_of_int (n - m - i))
+            -. log (float_of_int (n - i))
+        done;
+        float_of_int b *. (1.0 -. exp !log_miss)
+      end
+    end
+  end

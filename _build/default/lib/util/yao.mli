@@ -1,0 +1,16 @@
+(** Yao's formula for block accesses.
+
+    Fetching [k] records chosen uniformly without replacement from a
+    table of [n] records packed [m] records per block touches, in
+    expectation,
+
+      blocks(n, m, k) = B * (1 - C(n - m, k) / C(n, k))
+
+    where B = ceil(n / m) is the number of blocks.  The dynamic
+    optimizer uses it to project the cost of fetching a sorted RID list
+    (§6: "projected retrieval cost ... estimated from the current RID
+    list"). *)
+
+val blocks : n:int -> per_block:int -> k:int -> float
+(** Expected number of distinct blocks touched.  Total blocks when
+    [k >= n]; 0 when [k = 0]. *)

@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Char Database Int Printf Rdb_data Rdb_engine Rdb_util Schema String Table Value Zipf

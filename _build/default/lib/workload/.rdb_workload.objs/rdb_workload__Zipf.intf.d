@@ -1,0 +1,1 @@
+lib/workload/zipf.mli: Rdb_util

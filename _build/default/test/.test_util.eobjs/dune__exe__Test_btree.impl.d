@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree Estimate Float Hashtbl Int List Printf QCheck QCheck_alcotest Rdb_btree Rdb_data Rdb_storage Rdb_util Rid Sampling Value

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Option Predicate Printf QCheck QCheck_alcotest Rdb_core Rdb_data Rdb_dist Rdb_engine Rdb_exec Rdb_storage Rdb_util Row Scan Schema Table Trace Value

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Bytes Hashtbl QCheck QCheck_alcotest Rdb_data Rid Row Schema Value

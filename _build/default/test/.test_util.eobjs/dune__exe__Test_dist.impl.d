@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Float Format Hyperbola List QCheck QCheck_alcotest Rdb_dist Rdb_util Shape

@@ -1,0 +1,1 @@
+test/test_rid.ml: Alcotest Array Bitmap Filter Float List Printf QCheck QCheck_alcotest Rdb_data Rdb_rid Rdb_storage Rid Rid_list

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Rdb_core Rdb_data Rdb_engine Rdb_sql Rdb_storage String Value

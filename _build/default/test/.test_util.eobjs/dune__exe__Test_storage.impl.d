@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer_pool Cost Fun Hashtbl Heap_file List Option Printf QCheck QCheck_alcotest Rdb_data Rdb_storage Rid Row Spill String Value

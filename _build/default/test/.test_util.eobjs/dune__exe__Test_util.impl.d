@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dynarray Float Fun Hashtbl List Option Prng QCheck QCheck_alcotest Rdb_util Sorted Stats Yao

@@ -1,0 +1,374 @@
+(* Tests for the §2 selectivity-distribution algebra: exact shapes
+   under fixed correlations, De Morgan mirror symmetry, the paper's
+   Figure 2.1/2.2 findings, and the hyperbola-fit error claims. *)
+
+open Rdb_dist
+module Dist = Dist
+
+let check = Alcotest.(check bool)
+let checkf msg tol a b = Alcotest.(check (float tol)) msg a b
+
+let bins = 256 (* faster test grids *)
+
+let uniform () = Dist.uniform ~bins ()
+
+(* --- constructors ---------------------------------------------------- *)
+
+let test_normalization () =
+  List.iter
+    (fun d ->
+      let mass = Dist.cdf d 1.0 in
+      checkf "integrates to 1" 1e-6 1.0 mass)
+    [
+      uniform ();
+      Dist.point ~bins 0.3;
+      Dist.bell ~bins ~mean:0.2 ~stddev:0.05 ();
+      Dist.hyperbola ~bins ~b:0.01 ();
+    ]
+
+let test_point () =
+  let d = Dist.point ~bins 0.25 in
+  checkf "mean at point" 0.01 0.25 (Dist.mean d);
+  check "tiny stddev" true (Dist.stddev d < 0.01)
+
+let test_bell_moments () =
+  let d = Dist.bell ~bins ~mean:0.5 ~stddev:0.05 () in
+  checkf "mean" 0.005 0.5 (Dist.mean d);
+  checkf "stddev" 0.005 0.05 (Dist.stddev d)
+
+let test_of_density_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.of_density: empty") (fun () ->
+      ignore (Dist.of_density [||]));
+  Alcotest.check_raises "negative" (Invalid_argument "Dist.of_density: negative")
+    (fun () -> ignore (Dist.of_density [| 1.0; -0.5 |]))
+
+(* --- negation -------------------------------------------------------- *)
+
+let test_neg_mirror () =
+  let d = Dist.bell ~bins ~mean:0.2 ~stddev:0.05 () in
+  let n = Dist.neg d in
+  checkf "mirrored mean" 1e-6 (1.0 -. Dist.mean d) (Dist.mean n);
+  check "double negation" true (Dist.is_close ~tolerance:1e-9 d (Dist.neg n))
+
+(* --- AND under fixed correlations: closed-form checks ---------------- *)
+
+let test_and_plus1_of_uniform () =
+  (* s = min(sx, sy) of two uniforms: density 2(1-s), mean 1/3. *)
+  let d = Dist.and_self ~corr:(Fixed 1.0) (uniform ()) in
+  checkf "mean 1/3" 0.01 (1.0 /. 3.0) (Dist.mean d);
+  checkf "pdf near 0" 0.05 2.0 (Dist.pdf_at d 0.01);
+  checkf "pdf near 1" 0.05 0.0 (Dist.pdf_at d 0.99)
+
+let test_and_indep_of_uniform () =
+  (* s = sx*sy: density -ln s, mean 1/4. *)
+  let d = Dist.and_self ~corr:(Fixed 0.0) (uniform ()) in
+  checkf "mean 1/4" 0.01 0.25 (Dist.mean d);
+  checkf "pdf(0.5)" 0.05 (-.log 0.5) (Dist.pdf_at d 0.5)
+
+let test_and_minus1_of_uniform () =
+  (* s = max(0, sx+sy-1): half the mass is an atom at 0, the rest is
+     triangular: P(s=0)=1/2, density of positive part = 2(1-?)... For
+     uniforms: P(S<=t) = 1/2 + t - t^2/2; mean = 1/6. *)
+  let d = Dist.and_self ~corr:(Fixed (-1.0)) (uniform ()) in
+  checkf "mean 1/6" 0.01 (1.0 /. 6.0) (Dist.mean d);
+  check "atom at zero" true (Dist.cdf d 0.01 > 0.45)
+
+let test_and_correlation_monotone () =
+  (* Higher assumed correlation keeps more of the intersection: the
+     mean selectivity grows with c. *)
+  let u = uniform () in
+  let means =
+    List.map (fun c -> Dist.mean (Dist.and_self ~corr:(Fixed c) u)) [ -1.0; -0.5; 0.0; 0.5; 1.0 ]
+  in
+  let rec increasing = function
+    | a :: b :: rest -> a <= b +. 1e-9 && increasing (b :: rest)
+    | _ -> true
+  in
+  check "mean monotone in c" true (increasing means)
+
+let test_or_de_morgan () =
+  (* X|Y must equal the mirror of ~X & ~Y exactly (it is defined that
+     way), and for uniforms |X must mirror &X. *)
+  let u = uniform () in
+  let ored = Dist.or_self ~corr:Unknown u in
+  let anded = Dist.and_self ~corr:Unknown u in
+  check "mirror symmetry" true (Dist.is_close ~tolerance:0.02 (Dist.neg ored) anded)
+
+let test_join_is_and () =
+  (* §2: JOIN over a shared unique key behaves as AND on key-domain
+     selectivities. *)
+  let a = Dist.bell ~bins ~mean:0.3 ~stddev:0.1 () in
+  let b = Dist.bell ~bins ~mean:0.6 ~stddev:0.05 () in
+  check "join = and" true
+    (Dist.is_close ~tolerance:1e-9 (Dist.join ~corr:Unknown a b)
+       (Dist.and_ ~corr:Unknown a b))
+
+let test_and_commutative () =
+  let a = Dist.bell ~bins ~mean:0.3 ~stddev:0.1 () in
+  let b = Dist.bell ~bins ~mean:0.6 ~stddev:0.05 () in
+  let ab = Dist.and_ ~corr:Unknown a b in
+  let ba = Dist.and_ ~corr:Unknown b a in
+  check "commutative" true (Dist.is_close ~tolerance:0.02 ab ba)
+
+(* --- Figure 2.1: shapes of transformed uniforms ---------------------- *)
+
+let test_fig21_and_chain_l_shapes () =
+  let u = uniform () in
+  let a1 = Dist.and_self ~corr:Unknown u in
+  let a2 = Dist.and_self ~corr:Unknown a1 in
+  check "single AND is L-left" true (Shape.classify a1 = Shape.L_left);
+  check "double AND is L-left" true (Shape.classify a2 = Shape.L_left);
+  check "skewness grows" true (Shape.skewness a2 > Shape.skewness a1);
+  check "median shrinks" true (Shape.concentration a2 < Shape.concentration a1)
+
+let test_fig21_or_chain_mirrors () =
+  let u = uniform () in
+  let o1 = Dist.or_self ~corr:Unknown u in
+  check "single OR is L-right" true (Shape.classify o1 = Shape.L_right);
+  check "negative skew" true (Shape.skewness o1 < 0.0)
+
+let test_fig21_balanced_mix_restores_symmetry () =
+  (* Equal numbers of ANDs and ORs restore near-uniform symmetry. *)
+  let u = uniform () in
+  let d = Dist.or_self ~corr:Unknown (Dist.and_self ~corr:Unknown u) in
+  check "balanced mean near 0.5" true (Float.abs (Dist.mean d -. 0.5) < 0.1);
+  check "not L-shaped" true
+    (match Shape.classify d with Shape.L_left | Shape.L_right -> false | _ -> true)
+
+(* --- Figure 2.2: degradation of certainty ---------------------------- *)
+
+let test_fig22_single_and_nullifies_precision () =
+  (* "An estimation precision relative to the closest distance from the
+     interval end is instantly nullified by a single ANDing": the bell
+     (0.2, 0.005) explodes to a spread comparable to 0.2. *)
+  let bell = Dist.bell ~bins ~mean:0.2 ~stddev:0.005 () in
+  let after = Dist.and_self ~corr:Unknown bell in
+  check "spread explodes" true (Dist.stddev after > 10.0 *. Dist.stddev bell);
+  check "same order as distance" true (Dist.stddev after > 0.02)
+
+let test_fig22_oring_spreads_toward_center () =
+  let bell = Dist.bell ~bins ~mean:0.2 ~stddev:0.005 () in
+  let o = Dist.or_self ~corr:Unknown bell in
+  check "mean moves right" true (Dist.mean o > Dist.mean bell);
+  check "spread grows" true (Dist.stddev o > Dist.stddev bell)
+
+let test_fig22_repeated_anding_l_shape () =
+  let bell = Dist.bell ~bins ~mean:0.2 ~stddev:0.005 () in
+  let d = Dist.chain ~op:(Dist.and_self ~corr:Unknown) 3 bell in
+  check "L-left after repeated AND near left end" true (Shape.classify d = Shape.L_left)
+
+(* --- hyperbola fits --------------------------------------------------- *)
+
+let test_hyperbola_fit_errors_match_paper () =
+  (* Paper: truncated hyperbolas fit &X with relative error 1/4, &&X
+     with 1/7, &&&X with 1/23.  Our numeric pipeline should do at
+     least in the same ballpark (within 2x of the claims). *)
+  let u = Dist.uniform () in
+  let a1 = Dist.and_self ~corr:Unknown u in
+  let a2 = Dist.and_self ~corr:Unknown a1 in
+  let a3 = Dist.and_self ~corr:Unknown a2 in
+  let e1 = (Hyperbola.fit a1).Hyperbola.relative_error in
+  let e2 = (Hyperbola.fit a2).Hyperbola.relative_error in
+  let e3 = (Hyperbola.fit a3).Hyperbola.relative_error in
+  check "&X within 2x of 1/4" true (e1 < 0.5);
+  check "&&X within 2x of 1/7" true (e2 < 0.29);
+  check "&&&X within 2x of 1/23" true (e3 < 0.09)
+
+let test_hyperbola_fits_mirrored_shapes () =
+  let u = Dist.uniform ~bins () in
+  let o = Dist.or_self ~corr:Unknown u in
+  let f = Hyperbola.fit o in
+  check "OR shape fitted through mirror" true f.Hyperbola.mirrored;
+  check "error reasonable" true (f.Hyperbola.relative_error < 0.5)
+
+let test_hyperbola_self_fit () =
+  (* Fitting a hyperbola to itself should be nearly exact. *)
+  let h = Hyperbola.density ~bins ~b:0.05 ~d:0.0 () in
+  let f = Hyperbola.fit h in
+  check "self fit error tiny" true (f.Hyperbola.relative_error < 0.02)
+
+(* --- queries ---------------------------------------------------------- *)
+
+let test_quantile_cdf_inverse () =
+  let d = Dist.bell ~bins ~mean:0.4 ~stddev:0.1 () in
+  List.iter
+    (fun p ->
+      let q = Dist.quantile d p in
+      checkf "cdf(quantile p) = p" 0.02 p (Dist.cdf d q))
+    [ 0.1; 0.25; 0.5; 0.75; 0.9 ]
+
+let test_sample_distribution () =
+  let d = Dist.bell ~bins ~mean:0.3 ~stddev:0.05 () in
+  let rng = Rdb_util.Prng.create ~seed:9 in
+  let xs = Array.init 20_000 (fun _ -> Dist.sample rng d) in
+  check "sample mean" true (Float.abs (Rdb_util.Stats.mean xs -. 0.3) < 0.01);
+  check "sample sd" true (Float.abs (Rdb_util.Stats.stddev xs -. 0.05) < 0.01)
+
+let test_expectation () =
+  let u = uniform () in
+  checkf "E[s^2] of uniform" 0.01 (1.0 /. 3.0) (Dist.expectation u (fun s -> s *. s))
+
+(* --- edge cases --------------------------------------------------------- *)
+
+let test_or_fixed_corr_closed_form () =
+  (* |X at c=+1: s = max(sx, sy) (mirror of min) -> density 2s. *)
+  let d = Dist.or_self ~corr:(Fixed 1.0) (uniform ()) in
+  checkf "mean 2/3" 0.01 (2.0 /. 3.0) (Dist.mean d);
+  checkf "pdf near 1" 0.1 2.0 (Dist.pdf_at d 0.99)
+
+let test_chain_zero_is_identity () =
+  let b = Dist.bell ~bins ~mean:0.4 ~stddev:0.1 () in
+  check "chain 0" true
+    (Dist.is_close ~tolerance:1e-9 b (Dist.chain ~op:(Dist.and_self ~corr:Unknown) 0 b))
+
+let test_point_and_point () =
+  (* Independent AND of two point selectivities lands at the product. *)
+  let a = Dist.point ~bins 0.5 and b = Dist.point ~bins 0.4 in
+  let d = Dist.and_ ~corr:(Fixed 0.0) a b in
+  checkf "product mean" 0.01 0.2 (Dist.mean d);
+  check "still a point" true (Dist.stddev d < 0.01)
+
+let test_point_extremes () =
+  checkf "point at 0" 0.01 0.0 (Dist.mean (Dist.point ~bins 0.0));
+  checkf "point at 1" 0.01 1.0 (Dist.mean (Dist.point ~bins 1.0));
+  (* clamped out-of-range input *)
+  checkf "clamped" 0.01 1.0 (Dist.mean (Dist.point ~bins 7.0))
+
+let test_scale_cost_integrates_to_one () =
+  let d = Dist.bell ~bins ~mean:0.3 ~stddev:0.1 () in
+  let f = Dist.scale_cost d 250.0 in
+  let steps = 5000 in
+  let h = 250.0 /. float_of_int steps in
+  let acc = ref 0.0 in
+  for i = 0 to steps - 1 do
+    acc := !acc +. (f ((float_of_int i +. 0.5) *. h) *. h)
+  done;
+  checkf "mass 1 on [0,cmax]" 0.01 1.0 !acc;
+  checkf "zero outside" 0.0001 0.0 (f 251.0)
+
+let test_invalid_correlation_rejected () =
+  check "c=2 rejected" true
+    (try
+       ignore (Dist.and_self ~corr:(Fixed 2.0) (uniform ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- qcheck properties ------------------------------------------------ *)
+
+let arb_dist =
+  QCheck.make
+    ~print:(fun d -> Format.asprintf "%a" Dist.pp d)
+    (QCheck.Gen.oneof
+       [
+         QCheck.Gen.return (Dist.uniform ~bins ());
+         QCheck.Gen.map
+           (fun (m, sd) -> Dist.bell ~bins ~mean:m ~stddev:(0.005 +. sd) ())
+           QCheck.Gen.(pair (float_bound_inclusive 1.0) (float_bound_inclusive 0.2));
+         QCheck.Gen.map
+           (fun b -> Dist.hyperbola ~bins ~b:(0.001 +. b) ())
+           QCheck.Gen.(float_bound_inclusive 1.0);
+       ])
+
+let prop_ops_preserve_normalization =
+  QCheck.Test.make ~name:"ops preserve normalization" ~count:30
+    (QCheck.pair arb_dist arb_dist)
+    (fun (a, b) ->
+      let ops =
+        [
+          Dist.and_ ~corr:Unknown a b;
+          Dist.or_ ~corr:Unknown a b;
+          Dist.and_ ~corr:(Fixed 0.5) a b;
+          Dist.neg a;
+        ]
+      in
+      List.for_all (fun d -> Float.abs (Dist.cdf d 1.0 -. 1.0) < 1e-6) ops)
+
+let prop_and_below_min_mean =
+  QCheck.Test.make ~name:"AND mean <= min of operand means (any corr)" ~count:30
+    (QCheck.pair arb_dist arb_dist)
+    (fun (a, b) ->
+      let d = Dist.and_ ~corr:Unknown a b in
+      Dist.mean d <= Float.min (Dist.mean a) (Dist.mean b) +. 0.02)
+
+let prop_or_above_max_mean =
+  QCheck.Test.make ~name:"OR mean >= max of operand means (any corr)" ~count:30
+    (QCheck.pair arb_dist arb_dist)
+    (fun (a, b) ->
+      let d = Dist.or_ ~corr:Unknown a b in
+      Dist.mean d >= Float.max (Dist.mean a) (Dist.mean b) -. 0.02)
+
+let prop_quantiles_monotone =
+  QCheck.Test.make ~name:"quantiles monotone" ~count:50 arb_dist (fun d ->
+      let qs = List.map (Dist.quantile d) [ 0.1; 0.3; 0.5; 0.7; 0.9 ] in
+      let rec mono = function
+        | a :: b :: r -> a <= b +. 1e-9 && mono (b :: r)
+        | _ -> true
+      in
+      mono qs)
+
+let () =
+  Alcotest.run "rdb_dist"
+    [
+      ( "constructors",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "point" `Quick test_point;
+          Alcotest.test_case "bell moments" `Quick test_bell_moments;
+          Alcotest.test_case "of_density rejects" `Quick test_of_density_rejects;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "neg mirror" `Quick test_neg_mirror;
+          Alcotest.test_case "AND c=+1 closed form" `Quick test_and_plus1_of_uniform;
+          Alcotest.test_case "AND c=0 closed form" `Quick test_and_indep_of_uniform;
+          Alcotest.test_case "AND c=-1 closed form" `Quick test_and_minus1_of_uniform;
+          Alcotest.test_case "correlation monotone" `Quick test_and_correlation_monotone;
+          Alcotest.test_case "De Morgan mirror" `Quick test_or_de_morgan;
+          Alcotest.test_case "AND commutative" `Quick test_and_commutative;
+          Alcotest.test_case "JOIN behaves as AND" `Quick test_join_is_and;
+        ] );
+      ( "figure-2.1",
+        [
+          Alcotest.test_case "AND chains: L-left" `Quick test_fig21_and_chain_l_shapes;
+          Alcotest.test_case "OR chains: L-right" `Quick test_fig21_or_chain_mirrors;
+          Alcotest.test_case "balanced mix symmetric" `Quick
+            test_fig21_balanced_mix_restores_symmetry;
+        ] );
+      ( "figure-2.2",
+        [
+          Alcotest.test_case "one AND nullifies precision" `Quick
+            test_fig22_single_and_nullifies_precision;
+          Alcotest.test_case "OR spreads toward center" `Quick
+            test_fig22_oring_spreads_toward_center;
+          Alcotest.test_case "repeated AND gives L" `Quick test_fig22_repeated_anding_l_shape;
+        ] );
+      ( "hyperbola",
+        [
+          Alcotest.test_case "fit errors vs paper" `Slow test_hyperbola_fit_errors_match_paper;
+          Alcotest.test_case "mirrored fit" `Quick test_hyperbola_fits_mirrored_shapes;
+          Alcotest.test_case "self fit" `Quick test_hyperbola_self_fit;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "OR c=+1 closed form" `Quick test_or_fixed_corr_closed_form;
+          Alcotest.test_case "chain 0 identity" `Quick test_chain_zero_is_identity;
+          Alcotest.test_case "point AND point" `Quick test_point_and_point;
+          Alcotest.test_case "point extremes" `Quick test_point_extremes;
+          Alcotest.test_case "scale_cost normalization" `Quick
+            test_scale_cost_integrates_to_one;
+          Alcotest.test_case "invalid correlation" `Quick test_invalid_correlation_rejected;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "quantile inverts cdf" `Quick test_quantile_cdf_inverse;
+          Alcotest.test_case "sampling" `Quick test_sample_distribution;
+          Alcotest.test_case "expectation" `Quick test_expectation;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_ops_preserve_normalization;
+          QCheck_alcotest.to_alcotest prop_and_below_min_mean;
+          QCheck_alcotest.to_alcotest prop_or_above_max_mean;
+          QCheck_alcotest.to_alcotest prop_quantiles_monotone;
+        ] );
+    ]

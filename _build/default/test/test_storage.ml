@@ -1,0 +1,295 @@
+(* Tests for cost meters, the LRU buffer pool (against a reference
+   model), the slotted heap file and the spill store. *)
+
+open Rdb_data
+open Rdb_storage
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- cost -------------------------------------------------------------- *)
+
+let test_cost_accumulation () =
+  let m = Cost.create () in
+  Cost.charge_physical m;
+  Cost.charge_physical m;
+  Cost.charge_logical m;
+  Cost.charge_write m;
+  Cost.charge_cpu m 100;
+  check_int "phys" 2 (Cost.physical_reads m);
+  check_int "log" 1 (Cost.logical_reads m);
+  let expected = 2.0 +. 0.01 +. 1.0 +. (100.0 *. 0.0001) in
+  Alcotest.(check (float 1e-9)) "weighted" expected (Cost.total m)
+
+let test_cost_add_snapshot () =
+  let a = Cost.create () and b = Cost.create () in
+  Cost.charge_physical a;
+  Cost.charge_write b;
+  let snap = Cost.snapshot a in
+  Cost.add a b;
+  check "snapshot unchanged" true (Cost.total snap = 1.0);
+  Alcotest.(check (float 1e-9)) "added" 2.0 (Cost.total a);
+  Alcotest.(check (float 1e-9)) "since" 1.0 (Cost.since a snap)
+
+(* --- buffer pool -------------------------------------------------------- *)
+
+let block file index : Buffer_pool.block = { Buffer_pool.file; index }
+
+let test_pool_hit_miss () =
+  let p = Buffer_pool.create ~capacity:2 in
+  let m = Cost.create () in
+  Buffer_pool.touch p m (block 0 0);
+  Buffer_pool.touch p m (block 0 0);
+  check_int "one miss" 1 (Cost.physical_reads m);
+  check_int "one hit" 1 (Cost.logical_reads m)
+
+let test_pool_lru_eviction () =
+  let p = Buffer_pool.create ~capacity:2 in
+  let m = Cost.create () in
+  Buffer_pool.touch p m (block 0 0);
+  Buffer_pool.touch p m (block 0 1);
+  Buffer_pool.touch p m (block 0 0);
+  (* 0 is now MRU *)
+  Buffer_pool.touch p m (block 0 2);
+  (* evicts 1 *)
+  check "0 resident" true (Buffer_pool.is_resident p (block 0 0));
+  check "1 evicted" false (Buffer_pool.is_resident p (block 0 1));
+  check "2 resident" true (Buffer_pool.is_resident p (block 0 2))
+
+let test_pool_evict_file_and_flush () =
+  let p = Buffer_pool.create ~capacity:8 in
+  let m = Cost.create () in
+  for i = 0 to 3 do
+    Buffer_pool.touch p m (block 1 i);
+    Buffer_pool.touch p m (block 2 i)
+  done;
+  check_int "resident 8" 8 (Buffer_pool.resident p);
+  Buffer_pool.evict_file p 1;
+  check_int "file 1 gone" 4 (Buffer_pool.resident p);
+  check "file2 stays" true (Buffer_pool.is_resident p (block 2 0));
+  Buffer_pool.flush p;
+  check_int "flushed" 0 (Buffer_pool.resident p)
+
+(* LRU reference model: list of blocks, most recent first. *)
+let prop_pool_matches_model =
+  QCheck.Test.make ~name:"LRU pool matches reference model" ~count:100
+    QCheck.(list (pair (int_bound 3) (int_bound 15)))
+    (fun ops ->
+      let cap = 4 in
+      let p = Buffer_pool.create ~capacity:cap in
+      let m = Cost.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (f, i) ->
+          let b = block f i in
+          let hits_before = Cost.logical_reads m in
+          Buffer_pool.touch p m b;
+          let was_hit = Cost.logical_reads m > hits_before in
+          let hit_model = List.mem b !model in
+          model := b :: List.filter (( <> ) b) !model;
+          if List.length !model > cap then
+            model := List.filteri (fun k _ -> k < cap) !model;
+          (* Hit/miss and residency must agree with the model. *)
+          was_hit = hit_model
+          && List.for_all (fun blk -> Buffer_pool.is_resident p blk) !model
+          && Buffer_pool.resident p = List.length !model)
+        ops)
+
+let test_pool_write_makes_resident () =
+  let p = Buffer_pool.create ~capacity:2 in
+  let m = Cost.create () in
+  Buffer_pool.write p m (block 0 7);
+  check "resident after write" true (Buffer_pool.is_resident p (block 0 7));
+  check_int "write charged" 1 (Cost.block_writes m);
+  Buffer_pool.touch p m (block 0 7);
+  check_int "then hit" 1 (Cost.logical_reads m)
+
+(* --- heap file ----------------------------------------------------------- *)
+
+let row i = [| Value.int i; Value.str (Printf.sprintf "row-%04d" i) |]
+
+let test_heap_insert_fetch () =
+  let p = Buffer_pool.create ~capacity:64 in
+  let h = Heap_file.create ~page_bytes:256 p in
+  let m = Cost.create () in
+  let rids = List.init 100 (fun i -> Heap_file.insert h (row i)) in
+  check_int "count" 100 (Heap_file.record_count h);
+  check "multiple pages" true (Heap_file.page_count h > 1);
+  List.iteri
+    (fun i rid ->
+      match Heap_file.fetch h m rid with
+      | Some r -> check "fetch roundtrip" true (Row.equal r (row i))
+      | None -> Alcotest.fail "missing record")
+    rids
+
+let test_heap_delete_update () =
+  let p = Buffer_pool.create ~capacity:64 in
+  let h = Heap_file.create ~page_bytes:256 p in
+  let m = Cost.create () in
+  let rids = Array.init 50 (fun i -> Heap_file.insert h (row i)) in
+  check "delete" true (Heap_file.delete h m rids.(10));
+  check "double delete" false (Heap_file.delete h m rids.(10));
+  check "fetch deleted" true (Heap_file.fetch h m rids.(10) = None);
+  check_int "count after delete" 49 (Heap_file.record_count h);
+  check "update" true (Heap_file.update h m rids.(11) (row 999));
+  check "updated value" true
+    (Row.equal (Option.get (Heap_file.fetch h m rids.(11))) (row 999));
+  check "update deleted fails" false (Heap_file.update h m rids.(10) (row 1))
+
+let test_heap_scan_order_and_cost () =
+  let p = Buffer_pool.create ~capacity:64 in
+  let h = Heap_file.create ~page_bytes:256 p in
+  let m = Cost.create () in
+  for i = 0 to 99 do
+    ignore (Heap_file.insert h (row i))
+  done;
+  let seen = ref [] in
+  Heap_file.iter h m (fun rid r ->
+      ignore rid;
+      seen := r :: !seen);
+  let ids =
+    List.rev_map (fun r -> match Row.get r 0 with Value.Int i -> i | _ -> -1) !seen
+  in
+  Alcotest.(check (list int)) "physical order" (List.init 100 Fun.id) ids;
+  check_int "page reads = page count" (Heap_file.page_count h) (Cost.physical_reads m)
+
+let test_heap_fetch_bogus_rid () =
+  let p = Buffer_pool.create ~capacity:8 in
+  let h = Heap_file.create p in
+  let m = Cost.create () in
+  check "bad page" true (Heap_file.fetch h m (Rid.make ~page:99 ~slot:0) = None);
+  ignore (Heap_file.insert h (row 0));
+  check "bad slot" true (Heap_file.fetch h m (Rid.make ~page:0 ~slot:99) = None)
+
+let prop_heap_matches_model =
+  QCheck.Test.make ~name:"heap matches assoc model under ops" ~count:60
+    QCheck.(list (pair (int_bound 2) (int_bound 30)))
+    (fun ops ->
+      let p = Buffer_pool.create ~capacity:64 in
+      let h = Heap_file.create ~page_bytes:200 p in
+      let m = Cost.create () in
+      let model = Hashtbl.create 16 in
+      let rids = ref [] in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+              let rid = Heap_file.insert h (row v) in
+              Hashtbl.replace model rid v;
+              rids := rid :: !rids
+          | 1 -> (
+              match !rids with
+              | [] -> ()
+              | rid :: _ ->
+                  if Hashtbl.mem model rid then begin
+                    ignore (Heap_file.delete h m rid);
+                    Hashtbl.remove model rid
+                  end)
+          | _ -> (
+              match !rids with
+              | [] -> ()
+              | rid :: _ ->
+                  if Hashtbl.mem model rid then begin
+                    ignore (Heap_file.update h m rid (row v));
+                    Hashtbl.replace model rid v
+                  end))
+        ops;
+      Hashtbl.fold
+        (fun rid v acc ->
+          acc
+          &&
+          match Heap_file.fetch h m rid with
+          | Some r -> Row.equal r (row v)
+          | None -> false)
+        model true
+      && Heap_file.record_count h = Hashtbl.length model)
+
+let test_pool_capacity_one () =
+  let p = Buffer_pool.create ~capacity:1 in
+  let m = Cost.create () in
+  Buffer_pool.touch p m (block 0 0);
+  Buffer_pool.touch p m (block 0 1);
+  Buffer_pool.touch p m (block 0 0);
+  check_int "all misses" 3 (Cost.physical_reads m);
+  check_int "resident 1" 1 (Buffer_pool.resident p);
+  check "zero capacity rejected" true
+    (try
+       ignore (Buffer_pool.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_heap_huge_record_gets_own_page () =
+  let p = Buffer_pool.create ~capacity:16 in
+  let h = Heap_file.create ~page_bytes:128 p in
+  (* A record bigger than the page still lands somewhere (simulation
+     allows overflow pages of one record). *)
+  let big = [| Value.str (String.make 500 'x') |] in
+  let rid1 = Heap_file.insert h big in
+  let rid2 = Heap_file.insert h big in
+  check "distinct pages" true (rid1.Rid.page <> rid2.Rid.page);
+  let m = Cost.create () in
+  check "fetch works" true (Heap_file.fetch h m rid1 <> None)
+
+(* --- spill ----------------------------------------------------------------- *)
+
+let test_spill_roundtrip () =
+  let p = Buffer_pool.create ~capacity:64 in
+  let s = Spill.create ~rids_per_block:16 p in
+  let m = Cost.create () in
+  let rids = Array.init 100 (fun i -> Rid.make ~page:(i / 7) ~slot:(i mod 7)) in
+  Spill.append s m rids;
+  check_int "length" 100 (Spill.length s);
+  Spill.seal s m;
+  check_int "blocks" 7 (Spill.block_count s);
+  let back = Spill.to_array s m in
+  check "roundtrip order" true (Array.for_all2 Rid.equal rids back)
+
+let test_spill_write_costs () =
+  let p = Buffer_pool.create ~capacity:64 in
+  let s = Spill.create ~rids_per_block:10 p in
+  let m = Cost.create () in
+  Spill.append s m (Array.init 25 (fun i -> Rid.make ~page:i ~slot:0));
+  check_int "two full blocks written" 2 (Cost.block_writes m);
+  Spill.seal s m;
+  check_int "partial tail flushed" 3 (Cost.block_writes m);
+  check "append after seal" true
+    (try
+       Spill.append s m [| Rid.make ~page:0 ~slot:0 |];
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "rdb_storage"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "accumulation" `Quick test_cost_accumulation;
+          Alcotest.test_case "add/snapshot" `Quick test_cost_add_snapshot;
+        ] );
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_pool_hit_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_pool_lru_eviction;
+          Alcotest.test_case "evict_file/flush" `Quick test_pool_evict_file_and_flush;
+          Alcotest.test_case "write residency" `Quick test_pool_write_makes_resident;
+          QCheck_alcotest.to_alcotest prop_pool_matches_model;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "capacity one" `Quick test_pool_capacity_one;
+          Alcotest.test_case "oversized record" `Quick test_heap_huge_record_gets_own_page;
+        ] );
+      ( "heap_file",
+        [
+          Alcotest.test_case "insert/fetch" `Quick test_heap_insert_fetch;
+          Alcotest.test_case "delete/update" `Quick test_heap_delete_update;
+          Alcotest.test_case "scan order and cost" `Quick test_heap_scan_order_and_cost;
+          Alcotest.test_case "bogus rid" `Quick test_heap_fetch_bogus_rid;
+          QCheck_alcotest.to_alcotest prop_heap_matches_model;
+        ] );
+      ( "spill",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spill_roundtrip;
+          Alcotest.test_case "write costs" `Quick test_spill_write_costs;
+        ] );
+    ]
