@@ -44,6 +44,7 @@ let fscan_cost table idx_name pred =
         drain ()
     | Scan.Continue -> drain ()
     | Scan.Done -> ()
+    | Scan.Failed f -> raise (Rdb_storage.Fault.Injected f)
   in
   drain ();
   (!rows, Rdb_storage.Cost.total run_meter, est)

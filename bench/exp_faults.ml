@@ -1,0 +1,203 @@
+(* Fault injection and graceful degradation.
+
+   The degradation policies ride the same competition machinery the
+   paper builds for cost uncertainty (§3, §6, §7): a faulting index is
+   just an unproductive scan to be discarded, a dead foreground path
+   falls back to the guaranteed-best Tscan, and only an unreadable
+   heap — where no access path to the rows exists at all — aborts,
+   structurally.  This experiment measures:
+
+   - the injector-off baseline: a null-plan injector must be
+     cost-identical to no injector at all;
+   - the degradation curve: transient fault rate vs retrieval cost,
+     with the row set invariant throughout;
+   - the persistent-fault policies: dead index (quarantine/fallback,
+     query still answers), corrupt leaf (checksum catches it, query
+     still answers), dead heap (structured abort, no exception). *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_exec
+open Rdb_storage
+module Btree = Rdb_btree.Btree
+module R = Rdb_core.Retrieval
+
+let name = "faults"
+let description = "fault injection: overhead, degradation curve, quarantine/fallback/abort"
+
+let schema =
+  Schema.make
+    [
+      Schema.col "ID" Value.T_int;
+      Schema.col "X" Value.T_int;
+      Schema.col "Y" Value.T_int;
+      Schema.col "S" Value.T_str;
+    ]
+
+type fixture = { table : Table.t; pool : Buffer_pool.t }
+
+let fixture ?(rows = 12000) () =
+  let pool = Buffer_pool.create ~capacity:512 in
+  let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
+  let rng = Rdb_util.Prng.create ~seed:23 in
+  for i = 0 to rows - 1 do
+    ignore
+      (Table.insert table
+         [|
+           Value.int i;
+           Value.int (Rdb_util.Prng.int rng 100);
+           Value.int (Rdb_util.Prng.int rng 1000);
+           Value.str (Printf.sprintf "s%05d" i);
+         |])
+  done;
+  ignore (Table.create_index table ~name:"X_IDX" ~columns:[ "X" ] ());
+  ignore (Table.create_index table ~name:"Y_IDX" ~columns:[ "Y" ] ());
+  { table; pool }
+
+let pred =
+  let open Predicate in
+  And [ "X" <% Value.int 25; "Y" <% Value.int 450 ]
+
+let row_key rows =
+  List.sort compare (List.map (fun r -> Value.to_string (Row.get r 0)) rows)
+
+(* One cold retrieval under [plan]; [None] = no injector installed. *)
+let run_with f plan =
+  Buffer_pool.flush f.pool;
+  let inj = Option.map Fault.create plan in
+  Buffer_pool.set_injector f.pool inj;
+  let rows, s = R.run f.table (R.request pred) in
+  Buffer_pool.set_injector f.pool None;
+  (rows, s, inj)
+
+let count_events p trace = List.length (List.filter p trace)
+
+let run () =
+  Bench_common.section "Experiment faults — injection and graceful degradation";
+
+  (* --- injector-off overhead ------------------------------------- *)
+  let f0 = fixture () in
+  let rows_off, s_off, _ = run_with f0 None in
+  let rows_null, s_null, _ = run_with f0 (Some Fault.null_plan) in
+  Bench_common.subsection "injector overhead (same fixture, cold pool)";
+  Bench_common.table
+    ~header:[ "injector"; "rows"; "total cost" ]
+    [
+      [ "none"; string_of_int (List.length rows_off); Bench_common.f1 s_off.R.total_cost ];
+      [
+        "null plan";
+        string_of_int (List.length rows_null);
+        Bench_common.f1 s_null.R.total_cost;
+      ];
+    ];
+
+  (* --- degradation curve ------------------------------------------ *)
+  let rates = [ 0.0; 0.02; 0.05; 0.1; 0.2 ] in
+  let curve =
+    List.map
+      (fun rate ->
+        let plan = Fault.plan ~transient_read_rate:rate ~seed:91 () in
+        let rows, s, inj = run_with f0 (Some plan) in
+        let inj = Option.get inj in
+        let retries =
+          count_events (function Trace.Fault_retry _ -> true | _ -> false) s.R.trace
+        in
+        (rate, rows, s, Fault.injected_total inj, retries))
+      rates
+  in
+  Bench_common.subsection "degradation curve (transient faults, cold pool)";
+  Bench_common.table
+    ~header:[ "fault rate"; "rows"; "faults"; "retries"; "total cost"; "status" ]
+    (List.map
+       (fun (rate, rows, s, faults, retries) ->
+         [
+           Printf.sprintf "%.2f" rate;
+           string_of_int (List.length rows);
+           string_of_int faults;
+           string_of_int retries;
+           Bench_common.f1 s.R.total_cost;
+           R.status_to_string s.R.status;
+         ])
+       curve);
+
+  (* --- persistent-fault policies ---------------------------------- *)
+  let x_file = Btree.file_id (Option.get (Table.find_index f0.table "X_IDX")).Table.tree in
+  let rows_dead_idx, s_dead_idx, _ =
+    run_with f0 (Some (Fault.plan ~persistent_files:[ x_file ] ~seed:5 ()))
+  in
+  let x_tree = (Option.get (Table.find_index f0.table "X_IDX")).Table.tree in
+  let corrupt_leaf = List.hd (Btree.leaf_blocks x_tree) in
+  (* First cold pass under an injector establishes the lazy checksums;
+     the corruption then fires on the verifying second pass. *)
+  ignore (run_with f0 (Some Fault.null_plan));
+  let rows_corrupt, s_corrupt, inj_corrupt =
+    run_with f0
+      (Some (Fault.plan ~corrupt_blocks:[ (Btree.file_id x_tree, corrupt_leaf) ] ~seed:6 ()))
+  in
+  let heap = Heap_file.file_id (Table.heap f0.table) in
+  let rows_dead_heap, s_dead_heap, _ =
+    run_with f0 (Some (Fault.plan ~persistent_files:[ heap ] ~seed:7 ()))
+  in
+  let degradations trace =
+    count_events
+      (function
+        | Trace.Index_quarantined _ | Trace.Fallback_tscan _ -> true | _ -> false)
+      trace
+  in
+  Bench_common.subsection "persistent-fault policies";
+  Bench_common.table
+    ~header:[ "scenario"; "rows"; "quarantine/fallback"; "status" ]
+    [
+      [
+        "dead index (X_IDX)";
+        string_of_int (List.length rows_dead_idx);
+        string_of_int (degradations s_dead_idx.R.trace);
+        R.status_to_string s_dead_idx.R.status;
+      ];
+      [
+        "corrupt X_IDX leaf";
+        string_of_int (List.length rows_corrupt);
+        string_of_int (degradations s_corrupt.R.trace);
+        R.status_to_string s_corrupt.R.status;
+      ];
+      [
+        "dead heap";
+        string_of_int (List.length rows_dead_heap);
+        string_of_int (degradations s_dead_heap.R.trace);
+        R.status_to_string s_dead_heap.R.status;
+      ];
+    ];
+
+  (* --- checkpoints ------------------------------------------------- *)
+  Bench_common.subsection "paper checkpoints";
+  let base_key = row_key rows_off in
+  Printf.printf "null-plan injector is cost-identical to none (%.1f = %.1f): %b\n"
+    s_off.R.total_cost s_null.R.total_cost
+    (s_null.R.total_cost = s_off.R.total_cost && row_key rows_null = base_key);
+  let invariant =
+    List.for_all
+      (fun (_, rows, s, _, _) -> row_key rows = base_key && s.R.status = R.Completed)
+      curve
+  in
+  Printf.printf "row set invariant under every transient fault rate: %b\n" invariant;
+  let faults_fired =
+    List.exists (fun (rate, _, _, faults, _) -> rate > 0.0 && faults > 0) curve
+  in
+  Printf.printf "transient faults actually fired along the curve: %b\n" faults_fired;
+  let _, _, s_zero, _, _ = List.hd curve in
+  let _, _, s_worst, _, _ = List.nth curve (List.length curve - 1) in
+  Printf.printf "degradation is paid in cost, not rows (%.1f > %.1f): %b\n"
+    s_worst.R.total_cost s_zero.R.total_cost
+    (s_worst.R.total_cost > s_zero.R.total_cost);
+  Printf.printf
+    "dead index: quarantine/fallback visible, query still answers: %b\n"
+    (row_key rows_dead_idx = base_key
+    && s_dead_idx.R.status = R.Completed
+    && degradations s_dead_idx.R.trace > 0);
+  Printf.printf "corrupt leaf: checksum catches it, query still answers: %b\n"
+    (row_key rows_corrupt = base_key
+    && s_corrupt.R.status = R.Completed
+    && Fault.injected_corrupt (Option.get inj_corrupt) > 0);
+  Printf.printf "dead heap: structured abort, never an exception: %b\n"
+    (rows_dead_heap = []
+    && match s_dead_heap.R.status with R.Aborted _ -> true | _ -> false)

@@ -184,6 +184,7 @@ let run () =
                     loop ()
                 | Rdb_exec.Scan.Continue -> loop ()
                 | Rdb_exec.Scan.Done -> ()
+                | Rdb_exec.Scan.Failed f -> raise (Rdb_storage.Fault.Injected f)
               end
             in
             loop ();

@@ -27,6 +27,7 @@ let experiments : (string * string * (unit -> unit)) list =
     (Exp_join.name, Exp_join.description, Exp_join.run);
     (Exp_mixed.name, Exp_mixed.description, Exp_mixed.run);
     (Exp_clustering.name, Exp_clustering.description, Exp_clustering.run);
+    (Exp_faults.name, Exp_faults.description, Exp_faults.run);
     (Exp_micro.name, Exp_micro.description, Exp_micro.run);
   ]
 

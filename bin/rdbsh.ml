@@ -83,6 +83,25 @@ let run_sql db sql =
       Printf.printf "error: unbound host variable :%s (use .set %s VALUE)\n" p p
   | Invalid_argument m | Failure m -> Printf.printf "error: %s\n" m
   | Not_found -> print_endline "error: not found"
+  | Rdb_storage.Fault.Injected f ->
+      Printf.printf "storage fault: %s\n" (Rdb_storage.Fault.describe f)
+  | Stack_overflow -> print_endline "error: statement nested too deeply"
+  | Out_of_memory | Sys.Break as e ->
+      (* genuinely fatal / user interrupt: let it terminate the shell *)
+      raise e
+  | e ->
+      (* any other diagnostic keeps the shell alive *)
+      Printf.printf "internal error: %s\n" (Printexc.to_string e)
+
+(* Meta commands take the same stance: a bad argument is a printed
+   diagnostic, never a dead shell. *)
+let protect f =
+  try f () with
+  | Out_of_memory | Sys.Break as e -> raise e
+  | Rdb_sql.Executor.Execution_error m | Invalid_argument m | Failure m ->
+      Printf.printf "error: %s\n" m
+  | Not_found -> print_endline "error: not found"
+  | e -> Printf.printf "internal error: %s\n" (Printexc.to_string e)
 
 let meta db line =
   match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
@@ -163,7 +182,7 @@ let split_statements src =
 let run_script db src =
   List.iter
     (fun stmt ->
-      if String.length stmt > 0 && stmt.[0] = '.' then meta db stmt
+      if String.length stmt > 0 && stmt.[0] = '.' then protect (fun () -> meta db stmt)
       else begin
         let echo = if String.length stmt > 76 then String.sub stmt 0 73 ^ "..." else stmt in
         Printf.printf "rdb> %s\n" echo;
@@ -186,7 +205,7 @@ let repl db =
         else if
           Buffer.length pending = 0 && String.length trimmed > 0 && trimmed.[0] = '.'
         then begin
-          meta db trimmed;
+          protect (fun () -> meta db trimmed);
           loop ()
         end
         else begin
@@ -214,7 +233,8 @@ let main demo pool commands script =
       List.iter
         (fun sql ->
           Printf.printf "rdb> %s\n" sql;
-          if String.length sql > 0 && sql.[0] = '.' then meta db sql else run_sql db sql)
+          if String.length sql > 0 && sql.[0] = '.' then protect (fun () -> meta db sql)
+          else run_sql db sql)
         cmds;
       (match script with
       | Some path -> run_script db (In_channel.with_open_text path In_channel.input_all)

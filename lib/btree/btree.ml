@@ -25,7 +25,19 @@ let compare_entry ((ka, ra) : entry) ((kb, rb) : entry) =
 
 type node = Leaf of leaf | Internal of internal
 
-and leaf = { leaf_id : int; entries : entry Dynarray.t; mutable next : leaf option }
+and leaf = {
+  leaf_id : int;
+  entries : entry Dynarray.t;
+  mutable next : leaf option;
+  (* Lazily-maintained content checksum (see Heap_file): [written]
+     invalidates, the next cold read under a fault injector recomputes
+     or verifies.  Internal nodes carry no checksum: their [total] and
+     separators mutate on paths that are not charged as writes, so a
+     checksum there would either false-positive or change the seed
+     cost profile. *)
+  mutable crc : int;
+  mutable crc_valid : bool;
+}
 
 and internal = {
   node_id : int;
@@ -48,14 +60,19 @@ let node_total = function
 
 let node_id = function Leaf l -> l.leaf_id | Internal n -> n.node_id
 
+let fresh_leaf ~leaf_id ~entries ~next =
+  { leaf_id; entries; next; crc = Fault.crc_init; crc_valid = false }
+
 let create ?(fanout = 64) pool =
   if fanout < 3 then invalid_arg "Btree.create: fanout < 3";
+  let file = Buffer_pool.fresh_file pool in
+  Buffer_pool.classify pool ~file Fault.Index;
   let t =
     {
       pool;
-      file = Buffer_pool.fresh_file pool;
+      file;
       f = fanout;
-      root = Leaf { leaf_id = 0; entries = Dynarray.create (); next = None };
+      root = Leaf (fresh_leaf ~leaf_id:0 ~entries:(Dynarray.create ()) ~next:None);
       next_block = 1;
     }
   in
@@ -69,9 +86,41 @@ let fresh_block t =
   t.next_block <- id + 1;
   id
 
-let touch t meter node = Buffer_pool.touch t.pool meter { file = t.file; index = node_id node }
+let leaf_crc (l : leaf) =
+  Dynarray.fold_left
+    (fun acc ((k : key), (rid : Rid.t)) ->
+      let acc =
+        Array.fold_left (fun acc v -> Fault.crc_int acc (Hashtbl.hash v)) acc k
+      in
+      Fault.crc_int (Fault.crc_int acc rid.page) rid.slot)
+    Fault.crc_init l.entries
 
-let written t meter node = Buffer_pool.write t.pool meter { file = t.file; index = node_id node }
+let audit_leaf t (l : leaf) inj =
+  if not l.crc_valid then begin
+    l.crc <- leaf_crc l;
+    l.crc_valid <- true
+  end
+  else begin
+    if Fault.take_corruption inj ~file:t.file ~index:l.leaf_id then
+      l.crc <- Fault.crc_scramble l.crc;
+    if leaf_crc l <> l.crc then
+      raise
+        (Fault.Injected
+           { Fault.file = t.file; index = l.leaf_id; class_ = Fault.Index;
+             kind = Fault.Corrupt })
+  end
+
+let touch t meter node =
+  match Buffer_pool.touch_read t.pool meter { file = t.file; index = node_id node } with
+  | `Hit -> ()
+  | `Miss -> (
+      match (node, Buffer_pool.injector t.pool) with
+      | Leaf l, Some inj -> audit_leaf t l inj
+      | _ -> ())
+
+let written t meter node =
+  (match node with Leaf l -> l.crc_valid <- false | Internal _ -> ());
+  Buffer_pool.write t.pool meter { file = t.file; index = node_id node }
 
 let cardinality t = node_total t.root
 
@@ -91,6 +140,12 @@ let node_count t = fold_nodes (fun acc _ -> acc + 1) 0 t.root
 
 let leaf_count t =
   fold_nodes (fun acc n -> match n with Leaf _ -> acc + 1 | Internal _ -> acc) 0 t.root
+
+let leaf_blocks t =
+  List.rev
+    (fold_nodes
+       (fun acc n -> match n with Leaf l -> l.leaf_id :: acc | Internal _ -> acc)
+       [] t.root)
 
 let avg_leaf_entries t =
   let leaves = leaf_count t in
@@ -174,7 +229,9 @@ let rec insert_node t meter node e : bool * split option =
         else begin
           let at = Dynarray.length l.entries / 2 in
           let right_entries = split_dyn l.entries at in
-          let right = { leaf_id = fresh_block t; entries = right_entries; next = l.next } in
+          let right =
+            fresh_leaf ~leaf_id:(fresh_block t) ~entries:right_entries ~next:l.next
+          in
           l.next <- Some right;
           written t meter (Leaf right);
           (true, Some { sep = Dynarray.get right.entries 0; right = Leaf right })
@@ -458,11 +515,15 @@ let rec next c =
         None
     | Some l ->
         if c.pos >= Dynarray.length l.entries then begin
-          c.leaf <- l.next;
-          c.pos <- 0;
+          (* Touch the next leaf *before* advancing: a faulted read
+             leaves the cursor at the current leaf's end, so re-calling
+             [next] retries the same sibling instead of walking past
+             an uncharged, unverified leaf. *)
           (match l.next with
           | Some nl -> touch c.tree c.meter (Leaf nl)
           | None -> ());
+          c.leaf <- l.next;
+          c.pos <- 0;
           next c
         end
         else begin
@@ -510,8 +571,12 @@ let rec multi_next mc =
       match mc.pending with
       | [] -> None
       | r :: rest ->
+          (* Open the cursor (which descends, and may fault) before
+             popping the range, so a retry re-attempts the same range
+             rather than losing it. *)
+          let c = cursor mc.mtree mc.mmeter r in
           mc.pending <- rest;
-          mc.active <- Some (cursor mc.mtree mc.mmeter r);
+          mc.active <- Some c;
           multi_next mc)
 
 let multi_consumed mc = mc.mserved

@@ -41,6 +41,11 @@ val height : t -> int
 val node_count : t -> int
 val leaf_count : t -> int
 
+val leaf_blocks : t -> int list
+(** Block indexes of the leaves, left to right — the valid targets for
+    a {!Rdb_storage.Fault} corruption plan against this index's
+    file. *)
+
 val avg_leaf_entries : t -> float
 val avg_internal_children : t -> float
 

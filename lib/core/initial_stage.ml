@@ -1,6 +1,7 @@
 open Rdb_btree
 open Rdb_engine
 open Rdb_exec
+open Rdb_storage
 
 type classified = {
   jscan_candidates : Scan.candidate list;
@@ -37,7 +38,15 @@ let union_candidates table meter trace ~restriction ~nodes_spent =
           (fun idx ->
             let extraction = Range_extract.for_index branch idx in
             if extraction.Range_extract.bounded then begin
-              let r = Estimate.ranges idx.Table.tree meter extraction.Range_extract.ranges in
+              match Estimate.ranges idx.Table.tree meter extraction.Range_extract.ranges with
+              | exception Fault.Injected f ->
+                  (* Skip the faulting index for this disjunct; if no
+                     other index covers it the union tactic is simply
+                     not offered. *)
+                  Trace.emit trace
+                    (Trace.Fault_detected
+                       { site = "estimation"; fault = Fault.describe f })
+              | r ->
               nodes_spent := !nodes_spent + r.Estimate.nodes_visited;
               Trace.emit trace
                 (Trace.Estimated
@@ -97,7 +106,16 @@ let run table meter trace ~restriction ~needed_columns ~order_by =
               (* Pessimistic default: unknown, assume the whole index. *)
               (float_of_int (Btree.cardinality idx.Table.tree), false)
             else begin
-              let r = Estimate.ranges idx.Table.tree meter extraction.Range_extract.ranges in
+              match Estimate.ranges idx.Table.tree meter extraction.Range_extract.ranges with
+              | exception Fault.Injected f ->
+                  (* Estimation is advice: a faulting descent costs us
+                     accuracy, never the index.  Fall back to the same
+                     pessimistic whole-index default as a shortcut. *)
+                  Trace.emit trace
+                    (Trace.Fault_detected
+                       { site = "estimation"; fault = Fault.describe f });
+                  (float_of_int (Btree.cardinality idx.Table.tree), false)
+              | r ->
               nodes_spent := !nodes_spent + r.Estimate.nodes_visited;
               Trace.emit trace
                 (Trace.Estimated

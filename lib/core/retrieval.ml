@@ -10,6 +10,11 @@ type config = {
   fgr_waste_cap : float;
   speed_ratio : float;
   default_goal : Goal.t;
+  retry_limit : int;
+      (** consecutive faulted quanta tolerated before a transient fault
+          is escalated to the non-retriable policy *)
+  cost_quota : float option;
+      (** per-query cost ceiling, checked at quantum boundaries *)
 }
 
 let default_config =
@@ -19,6 +24,8 @@ let default_config =
     fgr_waste_cap = 0.5;
     speed_ratio = 1.0;
     default_goal = Goal.Total_time;
+    retry_limit = 8;
+    cost_quota = None;
   }
 
 type request = {
@@ -55,6 +62,21 @@ let tactic_to_string = function
   | Union_tactic -> "union (one scan per OR disjunct)"
   | Cancelled -> "cancelled (empty range)"
 
+(* How the retrieval ended.  The stream API ([fetch] returning [None])
+   does not distinguish these; the summary does, and the SQL executor
+   turns anything but [Completed] into a reported error. *)
+type status =
+  | Completed
+  | Cancelled_quota of { spent : float; quota : float }
+  | Aborted of { fault : string }
+      (** the heap itself was unreadable; no degradation path exists *)
+
+let status_to_string = function
+  | Completed -> "completed"
+  | Cancelled_quota { spent; quota } ->
+      Printf.sprintf "cancelled: cost quota exceeded (%.1f of %.1f)" spent quota
+  | Aborted { fault } -> Printf.sprintf "aborted: %s" fault
+
 type summary = {
   rows_delivered : int;
   total_cost : float;
@@ -62,6 +84,7 @@ type summary = {
   tactic : tactic_kind;
   goal : Goal.t;
   goal_provenance : string;
+  status : status;
   trace : Trace.event list;
 }
 
@@ -117,13 +140,27 @@ type cursor = {
   goal : Goal.t;
   goal_provenance : string;
   restriction : Predicate.t;  (** bound *)
-  machine : machine;
+  mutable machine : machine;  (** mutable: fault fallback swaps in a Tscan *)
   fgr_meter : Cost.t;
   bgr_meter : Cost.t;
   est_meter : Cost.t;
   order_ids : int array;  (** requested order, as column positions *)
   mutable sorted_rows : (Rid.t * Row.t) list option;  (** materialized post-sort *)
-  needs_sort : bool;
+  mutable needs_sort : bool;
+  ordered_by_index : bool;
+      (** delivery order came from an index: a fault fallback must
+          re-sort the remainder to keep the stream ordered *)
+  delivered_rids : (Rid.t, unit) Hashtbl.t;
+  mutable exclude_delivered : bool;
+      (** set at fault fallback: the replacement Tscan must not
+          re-deliver rows the faulted scan already produced *)
+  mutable consec_faults : int;
+  mutable pending_bg : (Fault.failure -> unit) option;
+      (** quarantine action for a fault surfaced by a background
+          competitor this quantum; [None] means the fault is the
+          foreground's *)
+  mutable aborted : string option;
+  mutable quota_hit : (float * float) option;
   mutable delivered : int;
   mutable first_row_cost : float option;
   mutable closed : bool;
@@ -334,6 +371,9 @@ let rec step_machine c =
       | None -> (
           match Jscan.step bg.bg_jscan with
           | `Working -> Scan.Continue
+          | `Faulted f ->
+              c.pending_bg <- Some (Jscan.quarantine bg.bg_jscan);
+              Scan.Failed f
           | `Finished outcome ->
               bg.bg_stage2 <- Some (make_stage2 c outcome ~delivered:(Hashtbl.create 0));
               Scan.Continue))
@@ -343,6 +383,9 @@ let rec step_machine c =
       | None -> (
           match Uscan.step un.un_scan with
           | `Working -> Scan.Continue
+          | `Faulted f ->
+              c.pending_bg <- Some (Uscan.abandon un.un_scan);
+              Scan.Failed f
           | `Finished outcome ->
               let as_jscan =
                 match outcome with
@@ -358,30 +401,35 @@ let rec step_machine c =
 and step_fast_first c ff =
   match ff.ff_stage2 with
   | Some s2 -> step_stage2 c.table c.restriction ff.ff_delivered s2
-  | None ->
-      let jscan_finished =
-        match Jscan.step ff.ff_jscan with
-        | `Finished o -> Some o
-        | `Working -> None
-      in
-      (* The background is always advanced above (it is also the RID
+  | None -> (
+      (* The background is always advanced first (it is also the RID
          source); the foreground additionally works when its spent cost
          lags the background's. *)
-      (match jscan_finished with
-      | Some outcome ->
+      match Jscan.step ff.ff_jscan with
+      | `Faulted f ->
+          c.pending_bg <- Some (Jscan.quarantine ff.ff_jscan);
+          Scan.Failed f
+      | `Finished outcome ->
           if ff.ff_active then
             Trace.emit c.trace (Trace.Foreground_stopped { reason = "background completed" });
           ff.ff_active <- false;
           ff.ff_stage2 <- Some (make_stage2 c outcome ~delivered:ff.ff_delivered);
           Scan.Continue
-      | None ->
+      | `Working ->
           if ff.ff_active && prefer_fgr c then begin
             match Jscan.borrow ff.ff_jscan with
             | None -> Scan.Continue
             | Some rid ->
                 if Hashtbl.mem ff.ff_delivered rid then Scan.Continue
                 else begin
+                  (* A faulted borrowed fetch is reported as a
+                     *foreground* heap fault; the borrowed RID is not
+                     replayed, which is safe — any true result row it
+                     names is still owed by the final stage (or the
+                     Tscan fallback), which excludes only delivered
+                     rows. *)
                   match Heap_file.fetch (Table.heap c.table) c.fgr_meter rid with
+                  | exception Fault.Injected f -> Scan.Failed f
                   | None -> Scan.Continue
                   | Some row ->
                       if Predicate.eval c.restriction (Table.schema c.table) row then begin
@@ -417,13 +465,18 @@ and step_sorted c so =
   (* Foreground always makes progress (it is the only deliverer); the
      background advances while its cost lags. *)
   if so.so_bgr_active && not (prefer_fgr c) then begin
-    (match Jscan.step so.so_jscan with
-    | `Working -> ()
+    match Jscan.step so.so_jscan with
+    | `Faulted f ->
+        c.pending_bg <- Some (Jscan.quarantine so.so_jscan);
+        Scan.Failed f
+    | `Working -> Scan.Continue
     | `Finished (Jscan.Rid_list rids) ->
         so.so_bgr_active <- false;
-        Fscan.set_filter so.so_fscan (Filter.of_sorted_array rids)
-    | `Finished (Jscan.Recommend_tscan _) -> so.so_bgr_active <- false);
-    Scan.Continue
+        Fscan.set_filter so.so_fscan (Filter.of_sorted_array rids);
+        Scan.Continue
+    | `Finished (Jscan.Recommend_tscan _) ->
+        so.so_bgr_active <- false;
+        Scan.Continue
   end
   else begin
     match Fscan.step so.so_fscan with
@@ -441,12 +494,16 @@ and step_index_only c io =
   | Some s2 -> step_stage2 c.table c.restriction io.io_delivered s2
   | None ->
       if io.io_bgr_active && not (prefer_fgr c) then begin
-        (match Jscan.step io.io_jscan with
-        | `Working -> ()
+        match Jscan.step io.io_jscan with
+        | `Faulted f ->
+            c.pending_bg <- Some (Jscan.quarantine io.io_jscan);
+            Scan.Failed f
+        | `Working -> Scan.Continue
         | `Finished (Jscan.Recommend_tscan _) ->
             io.io_bgr_active <- false;
             Trace.emit c.trace
-              (Trace.Background_stopped { reason = "Jscan found no competitive list" })
+              (Trace.Background_stopped { reason = "Jscan found no competitive list" });
+            Scan.Continue
         | `Finished (Jscan.Rid_list rids) ->
             io.io_bgr_active <- false;
             (* Is the "sure" RID-list retrieval cheaper than finishing
@@ -468,8 +525,8 @@ and step_index_only c io =
                   (S_final
                      (Final_stage.create c.table c.bgr_meter ~rids ~restriction:c.restriction
                         ~exclude:(fun rid -> Hashtbl.mem io.io_delivered rid)))
-            end);
-        Scan.Continue
+            end;
+            Scan.Continue
       end
       else begin
         match Sscan.step io.io_sscan with
@@ -517,31 +574,46 @@ let open_ ?(config = default_config) table (req : request) =
     if restriction = Predicate.False then (Cancelled, M_empty, false)
     else begin
       match
-        Initial_stage.run table est_meter trace ~restriction
-          ~needed_columns:(needed_columns table req restriction)
-          ~order_by:req.order_by
+        match
+          Initial_stage.run table est_meter trace ~restriction
+            ~needed_columns:(needed_columns table req restriction)
+            ~order_by:req.order_by
+        with
+        | Initial_stage.No_rows _ -> (Cancelled, M_empty, false)
+        | Initial_stage.Arranged classified ->
+            let tactic = decide table goal ~order_by:req.order_by ~classified trace in
+            let machine =
+              build_machine config table trace restriction ~classified ~fgr_meter
+                ~bgr_meter tactic
+            in
+            let ordered_delivery =
+              match tactic with
+              | Sorted_tactic | Static_fscan -> (
+                  (* Ordered iff driven by an order-providing index. *)
+                  match classified.Initial_stage.order_index with
+                  | Some oi -> Table.index_provides_order oi.Scan.idx ~order:req.order_by
+                  | None -> false)
+              | Static_sscan -> (
+                  match classified.Initial_stage.self_sufficient with
+                  | c :: _ -> Table.index_provides_order c.Scan.idx ~order:req.order_by
+                  | [] -> false)
+              | _ -> false
+            in
+            (tactic, machine, ordered_delivery)
       with
-      | Initial_stage.No_rows _ -> (Cancelled, M_empty, false)
-      | Initial_stage.Arranged classified ->
-          let tactic = decide table goal ~order_by:req.order_by ~classified trace in
-          let machine =
-            build_machine config table trace restriction ~classified ~fgr_meter
-              ~bgr_meter tactic
-          in
-          let ordered_delivery =
-            match tactic with
-            | Sorted_tactic | Static_fscan -> (
-                (* Ordered iff driven by an order-providing index. *)
-                match classified.Initial_stage.order_index with
-                | Some oi -> Table.index_provides_order oi.Scan.idx ~order:req.order_by
-                | None -> false)
-            | Static_sscan -> (
-                match classified.Initial_stage.self_sufficient with
-                | c :: _ -> Table.index_provides_order c.Scan.idx ~order:req.order_by
-                | [] -> false)
-            | _ -> false
-          in
-          (tactic, machine, ordered_delivery)
+      | exception Fault.Injected f ->
+          (* Planning faulted (estimation descent, clustering probe).
+             Estimates are advice: degrade to the plan that needs
+             none. *)
+          Trace.emit trace
+            (Trace.Fault_detected { site = "planning"; fault = Fault.describe f });
+          Trace.emit trace
+            (Trace.Fallback_tscan { reason = "fault during planning" });
+          Trace.emit trace
+            (Trace.Tactic_chosen
+               { tactic = tactic_to_string Static_tscan; reason = "fault during planning" });
+          (Static_tscan, M_tscan (Tscan.create table fgr_meter restriction), false)
+      | planned -> planned
     end
   in
   let needs_sort = req.order_by <> [] && not classified_order in
@@ -560,17 +632,95 @@ let open_ ?(config = default_config) table (req : request) =
     order_ids;
     sorted_rows = None;
     needs_sort;
+    ordered_by_index = classified_order;
+    delivered_rids = Hashtbl.create 64;
+    exclude_delivered = false;
+    consec_faults = 0;
+    pending_bg = None;
+    aborted = None;
+    quota_hit = None;
     delivered = 0;
     first_row_cost = None;
     closed = false;
     summary = None;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Degradation policies                                                *)
+(* ------------------------------------------------------------------ *)
+
+let abort_query c f =
+  Trace.emit c.trace (Trace.Query_aborted { fault = Fault.describe f });
+  c.aborted <- Some (Fault.describe f)
+
+(* A foreground index path died: swap in the guaranteed-safe Tscan,
+   skipping rows already delivered.  If delivery order came from the
+   index, the already-delivered prefix holds the lowest keys, so
+   sorting the remainder keeps the whole stream ordered. *)
+let fallback_tscan c f =
+  Trace.emit c.trace (Trace.Fallback_tscan { reason = Fault.describe f });
+  if c.ordered_by_index then c.needs_sort <- true;
+  c.exclude_delivered <- true;
+  c.machine <- M_tscan (Tscan.create c.table c.fgr_meter c.restriction)
+
+let handle_fault c f =
+  let site =
+    if Option.is_some c.pending_bg then "background " ^ Fault.class_name f.Fault.class_
+    else "foreground " ^ Fault.class_name f.Fault.class_
+  in
+  Trace.emit c.trace (Trace.Fault_detected { site; fault = Fault.describe f });
+  c.consec_faults <- c.consec_faults + 1;
+  if Fault.is_transient f && c.consec_faults <= c.cfg.retry_limit then begin
+    (* Bounded retry with deterministic backoff: the i-th consecutive
+       retry charges i physical reads to the faulted side's meter, so
+       repeated faults both show up in the cost accounting and shift
+       the foreground/background interleave away from the flaky
+       device. *)
+    let meter = if Option.is_some c.pending_bg then c.bgr_meter else c.fgr_meter in
+    for _ = 1 to c.consec_faults do
+      Cost.charge_physical meter
+    done;
+    Trace.emit c.trace
+      (Trace.Fault_retry { site; attempt = c.consec_faults; penalty = c.consec_faults })
+  end
+  else begin
+    c.consec_faults <- 0;
+    match c.pending_bg with
+    | Some quarantine -> quarantine f
+    | None -> (
+        match f.Fault.class_ with
+        | Fault.Heap -> abort_query c f
+        | Fault.Index | Fault.Spill | Fault.Other -> fallback_tscan c f)
+  end
+
 let rec fetch_raw c =
-  match step_machine c with
-  | Scan.Deliver (rid, row) -> Some (rid, row)
-  | Scan.Continue -> fetch_raw c
-  | Scan.Done -> None
+  if c.aborted <> None || c.quota_hit <> None then None
+  else begin
+    match c.cfg.cost_quota with
+    | Some quota when total_cost c > quota ->
+        Trace.emit c.trace (Trace.Quota_exceeded { spent = total_cost c; quota });
+        c.quota_hit <- Some (total_cost c, quota);
+        None
+    | _ -> (
+        c.pending_bg <- None;
+        match step_machine c with
+        | Scan.Deliver (rid, row) ->
+            c.consec_faults <- 0;
+            if c.exclude_delivered && Hashtbl.mem c.delivered_rids rid then fetch_raw c
+            else begin
+              Hashtbl.replace c.delivered_rids rid ();
+              Some (rid, row)
+            end
+        | Scan.Continue ->
+            c.consec_faults <- 0;
+            fetch_raw c
+        | Scan.Done ->
+            c.consec_faults <- 0;
+            None
+        | Scan.Failed f ->
+            handle_fault c f;
+            fetch_raw c)
+  end
 
 let fetch_pair c =
   if c.closed then None
@@ -620,6 +770,12 @@ let close c =
       c.closed <- true;
       Trace.emit c.trace
         (Trace.Retrieval_done { rows = c.delivered; cost = total_cost c });
+      let status =
+        match (c.aborted, c.quota_hit) with
+        | Some fault, _ -> Aborted { fault }
+        | None, Some (spent, quota) -> Cancelled_quota { spent; quota }
+        | None, None -> Completed
+      in
       let s =
         {
           rows_delivered = c.delivered;
@@ -628,6 +784,7 @@ let close c =
           tactic = c.tactic;
           goal = c.goal;
           goal_provenance = c.goal_provenance;
+          status;
           trace = Trace.events c.trace;
         }
       in

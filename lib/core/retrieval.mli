@@ -33,6 +33,12 @@ type config = {
       (** foreground:background cost-speed ratio (1.0 = equal, the
           optimum under hyperbolic cost distributions [Ant91B]) *)
   default_goal : Goal.t;
+  retry_limit : int;
+      (** max consecutive transient-fault retries per access before the
+          fault is treated as persistent (quarantine / fallback) *)
+  cost_quota : float option;
+      (** per-query cost ceiling, checked at quantum boundaries; [None]
+          disables the governor *)
 }
 
 val default_config : config
@@ -70,6 +76,16 @@ type tactic_kind =
 
 val tactic_to_string : tactic_kind -> string
 
+type status =
+  | Completed  (** normal exhaustion or caller close *)
+  | Cancelled_quota of { spent : float; quota : float }
+      (** the cost-quota governor stopped the query at a quantum
+          boundary *)
+  | Aborted of { fault : string }
+      (** the heap itself is unreadable — no degradation path left *)
+
+val status_to_string : status -> string
+
 type summary = {
   rows_delivered : int;
   total_cost : float;
@@ -77,6 +93,7 @@ type summary = {
   tactic : tactic_kind;
   goal : Goal.t;
   goal_provenance : string;
+  status : status;
   trace : Trace.event list;
 }
 

@@ -56,6 +56,9 @@ let run ?(keep_threshold = 0.25) ?limit table pred ~env =
             loop ()
         | Scan.Continue -> loop ()
         | Scan.Done -> ()
+        | Scan.Failed f ->
+            (* static paths run with no injector installed *)
+            raise (Fault.Injected f)
       end
     in
     loop ()

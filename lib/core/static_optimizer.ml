@@ -201,6 +201,9 @@ let execute ?limit table plan pred ~env =
             loop ()
         | Scan.Continue -> loop ()
         | Scan.Done -> ()
+        | Scan.Failed f ->
+            (* static paths run with no injector installed *)
+            raise (Fault.Injected f)
       end
     in
     loop ()

@@ -19,16 +19,22 @@ let step t =
   if t.pos >= Array.length t.rids then Scan.Done
   else begin
     let rid = t.rids.(t.pos) in
-    t.pos <- t.pos + 1;
     Cost.charge_cpu t.meter 1;
     if t.exclude rid then begin
+      t.pos <- t.pos + 1;
       t.skipped <- t.skipped + 1;
       Scan.Continue
     end
     else begin
+      (* Advance only after the fetch succeeds: a faulted quantum
+         leaves [pos] on this RID so stepping again retries it. *)
       match Heap_file.fetch (Table.heap t.table) t.meter rid with
-      | None -> Scan.Continue
+      | exception Fault.Injected f -> Scan.Failed f
+      | None ->
+          t.pos <- t.pos + 1;
+          Scan.Continue
       | Some row ->
+          t.pos <- t.pos + 1;
           if Predicate.eval t.restriction (Table.schema t.table) row then
             Scan.Deliver (rid, row)
           else Scan.Continue

@@ -11,6 +11,10 @@ type t = {
   prefilter : Predicate.t;  (** restriction part decidable on the key alone *)
   cursor : Btree.multi_cursor;
   mutable filter : Filter.t option;
+  mutable pending : (Btree.key * Rdb_data.Rid.t) option;
+      (** entry pulled from the cursor whose quantum has not completed:
+          the cursor has already moved past it, so a faulted heap fetch
+          must find it here on retry rather than lose it *)
   mutable fetched : int;
   mutable rejected : int;
   mutable saved : int;
@@ -26,6 +30,7 @@ let create table meter (cand : Scan.candidate) ~restriction =
     prefilter = restriction;
     cursor = Btree.multi_cursor cand.Scan.idx.Table.tree meter cand.Scan.ranges;
     filter = None;
+    pending = None;
     fetched = 0;
     rejected = 0;
     saved = 0;
@@ -34,25 +39,46 @@ let create table meter (cand : Scan.candidate) ~restriction =
 let set_filter t f = t.filter <- Some f
 
 let step t =
-  match Btree.multi_next t.cursor with
+  match
+    match t.pending with
+    | Some e -> Some e
+    | None -> (
+        match Btree.multi_next t.cursor with
+        | None -> None
+        | Some e ->
+            (* The cursor has moved past [e]; park it so a faulted
+               heap fetch below does not lose it. *)
+            t.pending <- Some e;
+            Cost.charge_cpu t.meter 1;
+            Some e)
+  with
+  | exception Fault.Injected f -> Scan.Failed f
   | None -> Scan.Done
   | Some (key, rid) ->
       let schema = Table.schema t.table in
       let synth = Scan.synthetic_row t.table t.idx key in
-      Cost.charge_cpu t.meter 1;
       (* Reject on the key alone when the restriction definitely
          fails, then through the background filter, then fetch. *)
-      if not (Predicate.eval_maybe t.prefilter schema synth) then Scan.Continue
+      if not (Predicate.eval_maybe t.prefilter schema synth) then begin
+        t.pending <- None;
+        Scan.Continue
+      end
       else begin
         match t.filter with
         | Some f when not (Filter.mem f rid) ->
+            t.pending <- None;
             t.saved <- t.saved + 1;
             Scan.Continue
         | _ -> (
-            t.fetched <- t.fetched + 1;
             match Heap_file.fetch (Table.heap t.table) t.meter rid with
-            | None -> Scan.Continue
+            | exception Fault.Injected f -> Scan.Failed f
+            | None ->
+                t.pending <- None;
+                t.fetched <- t.fetched + 1;
+                Scan.Continue
             | Some row ->
+                t.pending <- None;
+                t.fetched <- t.fetched + 1;
                 if Predicate.eval t.restriction schema row then Scan.Deliver (rid, row)
                 else begin
                   t.rejected <- t.rejected + 1;

@@ -40,11 +40,16 @@ type scan_state = {
   mutable spill_logged : bool;
 }
 
-type t = {
+(* Where a fault surfaced, for [quarantine]: a running scan (primary
+   or secondary), or the completed list read in [decide_final]. *)
+type fault_site = Site_scan of scan_state * bool | Site_final
+
+and t = {
   table : Table.t;
   meter : Cost.t;
   cfg : config;
   trace : Trace.t;
+  mutable fault_site : fault_site option;
   mutable queue : Scan.candidate list;
   mutable primary : scan_state option;
   mutable secondary : scan_state option;
@@ -73,6 +78,7 @@ let create table meter cfg trace ~candidates =
     meter;
     cfg;
     trace;
+    fault_site = None;
     queue = candidates;
     primary = None;
     secondary = None;
@@ -174,18 +180,30 @@ let complete_scan t st =
   t.secondary <- None;
   (match other with
   | None -> ()
-  | Some o ->
+  | Some o -> (
       Trace.emit t.trace (Trace.Simultaneous_winner { index = idx_name st });
       (* Refilter o's in-memory partial list against the new filter. *)
       let fresh = Rid_list.create ~memory_budget:t.cfg.memory_budget (Table.pool t.table) t.meter in
-      Rid_list.iter_unordered o.list (fun rid ->
-          Cost.charge_cpu t.meter 1;
-          if Filter.mem filter rid then Rid_list.add fresh rid);
-      Rid_list.destroy o.list;
-      let o' =
-        { o with list = fresh; accepted = Rid_list.count fresh }
-      in
-      t.primary <- Some o');
+      match
+        Rid_list.iter_unordered o.list (fun rid ->
+            Cost.charge_cpu t.meter 1;
+            if Filter.mem filter rid then Rid_list.add fresh rid)
+      with
+      | exception Fault.Injected f ->
+          (* The loser's partial list (or the refiltered copy) faulted
+             mid-refilter.  The winner has already completed, so the
+             competition loses nothing by dropping the loser outright —
+             the fault is absorbed here and never escapes the quantum. *)
+          Rid_list.destroy fresh;
+          Trace.emit t.trace
+            (Trace.Index_quarantined { index = idx_name o; fault = Fault.describe f });
+          discard_scan t o (Fault.describe f)
+      | () ->
+          Rid_list.destroy o.list;
+          let o' =
+            { o with list = fresh; accepted = Rid_list.count fresh }
+          in
+          t.primary <- Some o'));
   if t.completed_count = 0 then begin
     (* Empty intersection: shortcut the whole retrieval (§6). *)
     (match t.primary with
@@ -363,24 +381,88 @@ let rec step t =
   | Some o -> `Finished o
   | None -> (
       match (t.primary, t.secondary) with
-      | None, None -> if start_scans t then `Working else decide_final t
-      | Some p, None ->
-          ignore (advance_scan t p ~is_secondary:false);
-          if t.finished = None then `Working else step t
-      | Some p, Some s ->
-          (* Equal-speed interleave. *)
+      | None, None -> (
+          if start_scans t then `Working
+          else
+            match decide_final t with
+            | exception Fault.Injected f ->
+                (* Reading the completed list back faulted.  The list
+                   position is untouched, so a retry re-reads it; a
+                   quarantine drops it and the decision degrades to
+                   Recommend_tscan. *)
+                t.fault_site <- Some Site_final;
+                `Faulted f
+            | r -> r)
+      | Some p, None -> (
+          match advance_scan t p ~is_secondary:false with
+          | exception Fault.Injected f ->
+              t.fault_site <- Some (Site_scan (p, false));
+              `Faulted f
+          | _ -> if t.finished = None then `Working else step t)
+      | Some p, Some s -> (
+          (* Equal-speed interleave.  [flip] toggles only after a
+             successful quantum: a faulted advance is retried on the
+             same scan. *)
           let target, is_secondary = if t.flip then (s, true) else (p, false) in
-          t.flip <- not t.flip;
-          ignore (advance_scan t target ~is_secondary);
-          if t.finished = None then `Working else step t
+          match advance_scan t target ~is_secondary with
+          | exception Fault.Injected f ->
+              t.fault_site <- Some (Site_scan (target, is_secondary));
+              `Faulted f
+          | _ ->
+              t.flip <- not t.flip;
+              if t.finished = None then `Working else step t)
       | None, Some s ->
           (* Primary was discarded; promote. *)
           t.primary <- Some s;
           t.secondary <- None;
           `Working)
 
+(* Non-retriable fault at the recorded site: drop the faulting party
+   and let the competition continue — structurally the same move as a
+   §6 competitive discard, with a fault for a reason. *)
+let quarantine t f =
+  match t.fault_site with
+  | None -> ()
+  | Some site -> (
+      t.fault_site <- None;
+      match site with
+      | Site_final ->
+          (match t.completed with Some l -> Rid_list.destroy l | None -> ());
+          t.completed <- None;
+          t.completed_count <- 0;
+          t.completed_name <- "";
+          (* [g] may have been lowered by the now-unreadable list;
+             restore the only guarantee still standing. *)
+          t.g <- t.tscan_cost
+      | Site_scan (st, is_secondary) ->
+          Trace.emit t.trace
+            (Trace.Index_quarantined { index = idx_name st; fault = Fault.describe f });
+          discard_scan t st (Fault.describe f);
+          if is_secondary then t.secondary <- None
+          else begin
+            t.primary <- None;
+            match t.secondary with
+            | Some s ->
+                t.primary <- Some s;
+                t.secondary <- None
+            | None -> ()
+          end)
+
+let faulted_scan t =
+  match t.fault_site with
+  | Some (Site_scan (st, _)) -> Some (idx_name st)
+  | _ -> None
+
 let rec run t =
-  match step t with `Finished o -> o | `Working -> run t
+  match step t with
+  | `Finished o -> o
+  | `Working -> run t
+  | `Faulted f ->
+      if Fault.is_transient f then run t
+      else begin
+        quarantine t f;
+        run t
+      end
 
 let borrow t =
   if t.borrow_pos < Dynarray.length t.borrow_q then begin

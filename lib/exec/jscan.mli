@@ -68,11 +68,25 @@ val create :
     [eval_maybe] during the scans; the caller must still evaluate the
     full restriction on fetched rows. *)
 
-val step : t -> [ `Working | `Finished of outcome ]
-(** Idempotent once finished. *)
+val step : t -> [ `Working | `Finished of outcome | `Faulted of Fault.failure ]
+(** Idempotent once finished.  [`Faulted] reports a block-access fault
+    caught inside the quantum with the scan positions unchanged: the
+    caller either steps again (retry, for transient faults) or calls
+    {!quarantine} (drop the faulting party, for persistent ones). *)
+
+val quarantine : t -> Fault.failure -> unit
+(** Discard whichever party the last [`Faulted] step blamed — a
+    running scan (traced as {!Trace.Index_quarantined} plus the usual
+    §6 [Scan_discarded]) or the completed list (the final decision then
+    degrades to [Recommend_tscan]).  The competition continues with
+    the remaining candidates.  No-op if no fault is pending. *)
+
+val faulted_scan : t -> string option
+(** Index name blamed by the last [`Faulted] step, if it was a scan. *)
 
 val run : t -> outcome
-(** Step to completion. *)
+(** Step to completion, retrying transient faults and quarantining
+    persistent ones. *)
 
 val borrow : t -> Rid.t option
 (** Next not-yet-borrowed accepted RID, if any (fast-first tactic). *)

@@ -2,7 +2,11 @@ open Rdb_btree
 open Rdb_data
 open Rdb_engine
 
-type step = Deliver of Rid.t * Row.t | Continue | Done
+type step =
+  | Deliver of Rid.t * Row.t
+  | Continue
+  | Done
+  | Failed of Rdb_storage.Fault.failure
 
 type candidate = {
   idx : Table.index;

@@ -13,6 +13,11 @@ type step =
   | Deliver of Rid.t * Row.t  (** a qualifying row *)
   | Continue  (** worked, nothing to deliver yet *)
   | Done  (** exhausted *)
+  | Failed of Rdb_storage.Fault.failure
+      (** the quantum's block access faulted; the scan's position is
+          unchanged, so stepping again retries the same access (the
+          degradation policies in [Rdb_core.Retrieval] decide whether
+          to retry, quarantine, fall back, or abort) *)
 
 type candidate = {
   idx : Table.index;

@@ -26,7 +26,11 @@ let create table meter (cand : Scan.candidate) ~restriction =
   }
 
 let step t =
+  (* [multi_next] touches leaves before advancing and opens range
+     cursors before consuming the range, so a faulted quantum is
+     retryable in place. *)
   match Btree.multi_next t.cursor with
+  | exception Fault.Injected f -> Scan.Failed f
   | None -> Scan.Done
   | Some (key, rid) ->
       let row = Scan.synthetic_row t.table t.idx key in

@@ -16,6 +16,12 @@ type event =
   | Background_stopped of { reason : string }
   | Final_stage of { rids : int; filtered_delivered : int }
   | Retrieval_done of { rows : int; cost : float }
+  | Fault_detected of { site : string; fault : string }
+  | Fault_retry of { site : string; attempt : int; penalty : int }
+  | Index_quarantined of { index : string; fault : string }
+  | Fallback_tscan of { reason : string }
+  | Query_aborted of { fault : string }
+  | Quota_exceeded of { spent : float; quota : float }
 
 type t = event Dynarray.t
 
@@ -51,6 +57,15 @@ let event_to_string = function
         filtered_delivered
   | Retrieval_done { rows; cost } ->
       Printf.sprintf "retrieval done: %d rows, cost %.2f" rows cost
+  | Fault_detected { site; fault } -> Printf.sprintf "FAULT at %s: %s" site fault
+  | Fault_retry { site; attempt; penalty } ->
+      Printf.sprintf "retry %d at %s (backoff penalty %d reads)" attempt site penalty
+  | Index_quarantined { index; fault } ->
+      Printf.sprintf "index %s QUARANTINED: %s" index fault
+  | Fallback_tscan { reason } -> Printf.sprintf "fallback to Tscan: %s" reason
+  | Query_aborted { fault } -> Printf.sprintf "query ABORTED: %s" fault
+  | Quota_exceeded { spent; quota } ->
+      Printf.sprintf "cost quota exceeded: %.2f spent of %.2f allowed" spent quota
 
 let pp fmt t =
   Dynarray.iter (fun e -> Format.fprintf fmt "%s@." (event_to_string e)) t

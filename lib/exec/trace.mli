@@ -24,6 +24,19 @@ type event =
   | Background_stopped of { reason : string }
   | Final_stage of { rids : int; filtered_delivered : int }
   | Retrieval_done of { rows : int; cost : float }
+  | Fault_detected of { site : string; fault : string }
+      (** a block access faulted during this retrieval *)
+  | Fault_retry of { site : string; attempt : int; penalty : int }
+      (** transient fault retried after a cost-charged backoff *)
+  | Index_quarantined of { index : string; fault : string }
+      (** a faulting index path was discarded, §6-style, and the
+          retrieval continued without it *)
+  | Fallback_tscan of { reason : string }
+      (** foreground switched to the guaranteed-safe sequential scan *)
+  | Query_aborted of { fault : string }
+      (** the heap itself was unreadable: no degradation possible *)
+  | Quota_exceeded of { spent : float; quota : float }
+      (** per-query cost-quota governor cancelled the retrieval *)
 
 type t
 

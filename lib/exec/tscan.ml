@@ -24,7 +24,11 @@ let create table meter restriction =
 let step t =
   if t.finished then Scan.Done
   else begin
+    (* [Heap_file.next] loads pages before advancing its cursor, so a
+       faulted quantum leaves the scan where it was: stepping again
+       retries the same page. *)
     match Heap_file.next t.cursor with
+    | exception Fault.Injected f -> Scan.Failed f
     | None ->
         t.finished <- true;
         Scan.Done

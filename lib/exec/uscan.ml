@@ -115,7 +115,9 @@ let rec step t =
               else begin
                 let fetch = Cost_model.rid_fetch_cost t.table ~k:t.accepted in
                 if fetch <= t.tscan_cost then
-                  finish t (Rid_list (Rid_list.to_sorted_array t.union))
+                  match Rid_list.to_sorted_array t.union with
+                  | exception Fault.Injected f -> `Faulted f
+                  | rids -> finish t (Rid_list rids)
                 else
                   finish t
                     (Recommend_tscan
@@ -137,6 +139,10 @@ let rec step t =
               `Working)
       | Some st -> (
           match Btree.multi_next st.cursor with
+          | exception Fault.Injected f ->
+              (* Positions are unchanged: the caller retries transient
+                 faults by stepping again, or calls [abandon]. *)
+              `Faulted f
           | None ->
               Trace.emit t.trace
                 (Trace.Scan_completed
@@ -147,17 +153,24 @@ let rec step t =
                    });
               t.current <- None;
               `Working
-          | Some (key, rid) ->
+          | Some (key, rid) -> (
               st.scanned <- st.scanned + 1;
               Cost.charge_cpu t.meter 1;
-              if
-                Predicate.eval_maybe st.cand.Scan.residual (Table.schema t.table)
-                  (Scan.synthetic_row t.table st.cand.Scan.idx key)
-              then begin
-                Rid_list.add t.union rid;
-                t.accepted <- t.accepted + 1;
-                st.accepted_here <- st.accepted_here + 1
-              end;
+              match
+                if
+                  Predicate.eval_maybe st.cand.Scan.residual (Table.schema t.table)
+                    (Scan.synthetic_row t.table st.cand.Scan.idx key)
+                then begin
+                  Rid_list.add t.union rid;
+                  t.accepted <- t.accepted + 1;
+                  st.accepted_here <- st.accepted_here + 1
+                end
+              with
+              | exception Fault.Injected f ->
+                  (* Spill-write faults are never transient, so the
+                     caller abandons; the half-consumed entry is moot. *)
+                  `Faulted f
+              | () ->
               if st.scanned mod t.cfg.check_every = 0 then begin
                 match check t st with
                 | Some reason ->
@@ -169,8 +182,28 @@ let rec step t =
                     step t
                 | None -> `Working
               end
-              else `Working))
+              else `Working)))
 
-let rec run t = match step t with `Finished o -> o | `Working -> run t
+(* A union cannot drop one disjunct — every row is owed — so any
+   non-retriable fault abandons the whole arrangement for the
+   guaranteed-safe Tscan. *)
+let abandon t f =
+  if t.finished = None then begin
+    Rid_list.destroy t.union;
+    ignore
+      (finish t
+         (Recommend_tscan (Printf.sprintf "union abandoned: %s" (Fault.describe f))))
+  end
+
+let rec run t =
+  match step t with
+  | `Finished o -> o
+  | `Working -> run t
+  | `Faulted f ->
+      if Fault.is_transient f then run t
+      else begin
+        abandon t f;
+        run t
+      end
 
 let meter t = t.meter

@@ -37,6 +37,16 @@ val create :
     part of its own disjunct the range does not guarantee (evaluated
     with [eval_maybe] during the scan). *)
 
-val step : t -> [ `Working | `Finished of outcome ]
+val step : t -> [ `Working | `Finished of outcome | `Faulted of Fault.failure ]
+(** [`Faulted] leaves positions unchanged: step again to retry a
+    transient fault, or call {!abandon}. *)
+
+val abandon : t -> Fault.failure -> unit
+(** Non-retriable fault: a union owes every disjunct's rows, so the
+    whole arrangement is dropped in favour of [Recommend_tscan]. *)
+
 val run : t -> outcome
+(** Step to completion, retrying transient faults and abandoning on
+    persistent ones. *)
+
 val meter : t -> Cost.t

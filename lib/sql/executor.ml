@@ -14,6 +14,14 @@ exception Execution_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
 
+(* A retrieval that ends in anything but [Completed] delivered a
+   truncated row set; silently returning it would corrupt query
+   results, so surface the structured status as an executor error. *)
+let check_status (summary : Retrieval.summary) =
+  match summary.Retrieval.status with
+  | Retrieval.Completed -> ()
+  | s -> fail "retrieval %s" (Retrieval.status_to_string s)
+
 let operand_to_pred = function
   | Ast.Lit v -> Predicate.Const v
   | Ast.Host h -> Predicate.Param h
@@ -124,7 +132,7 @@ and run_single db env config summaries (sel : Ast.select) ~outer ?force_limit ()
   let proj_cols = projection_columns db sel in
   List.iter
     (fun c -> if not (Schema.mem schema c) then fail "unknown column %s" c)
-    (proj_cols @ sel.Ast.order_by);
+    (proj_cols @ sel.Ast.order_by @ Predicate.columns restriction);
   let needs_post = sel.Ast.distinct || (match sel.Ast.projection with Ast.Aggs _ -> true | _ -> false) in
   let own_limit = if needs_post then None else sel.Ast.limit in
   let push_limit =
@@ -139,6 +147,7 @@ and run_single db env config summaries (sel : Ast.select) ~outer ?force_limit ()
   in
   let rows, summary = Retrieval.run ?config ?limit:push_limit table req in
   summaries := !summaries @ [ (sel.Ast.table, summary) ];
+  check_status summary;
   let project row = List.map (fun c -> Row.get row (Schema.index_of schema c)) proj_cols in
   match sel.Ast.projection with
   | Ast.Aggs aggs ->
@@ -293,6 +302,7 @@ and run_join db env config summaries (sel : Ast.select) b_name ?force_limit () =
       Retrieval.run ?config ta (Retrieval.request ~env outer_pred)
     in
     summaries := !summaries @ [ (a_name, outer_summary) ];
+    check_status outer_summary;
     (* Inner probes: one parameterized retrieval per distinct join
        value, memoized. *)
     let probe_cost = ref 0.0 and probe_rows = ref 0 and probes = ref 0 and hits = ref 0 in
@@ -313,6 +323,7 @@ and run_join db env config summaries (sel : Ast.select) b_name ?force_limit () =
             | None -> inner_pred
           in
           let rows, s = Retrieval.run ?config tb (Retrieval.request ~env pred) in
+          check_status s;
           probe_cost := !probe_cost +. s.Retrieval.total_cost;
           probe_rows := !probe_rows + s.Retrieval.rows_delivered;
           last_tactic := s.Retrieval.tactic;
@@ -351,6 +362,7 @@ and run_join db env config summaries (sel : Ast.select) b_name ?force_limit () =
         goal_provenance =
           Printf.sprintf "per-iteration dynamic probes (%d probes, %d memoized)" !probes
             !hits;
+        status = Retrieval.Completed;
         trace = [];
       }
     in
@@ -466,6 +478,10 @@ let collect_pairs db env config (tbl : Table.t) where summaries =
     | None -> Predicate.True
     | Some c -> cond_to_predicate db env config summaries c
   in
+  List.iter
+    (fun c ->
+      if not (Schema.mem (Table.schema tbl) c) then fail "unknown column %s" c)
+    (Predicate.columns restriction);
   let req = Retrieval.request ~env restriction in
   let cursor = Retrieval.open_ ?config tbl req in
   let rec drain acc =
@@ -476,6 +492,7 @@ let collect_pairs db env config (tbl : Table.t) where summaries =
   let pairs = drain [] in
   let summary = Retrieval.close cursor in
   summaries := !summaries @ [ (Table.name tbl, summary) ];
+  check_status summary;
   pairs
 
 let execute_dml ?(env = []) ?config db stmt =
@@ -530,7 +547,18 @@ let execute_dml ?(env = []) ?config db stmt =
         summaries = !summaries;
         message = Some (Printf.sprintf "%d row(s) updated in %s" updated table);
       }
-  | _ -> assert false
+  | stmt ->
+      (* [execute] routes only Delete/Update here; a future statement
+         kind reaching this point is a dispatch bug, reported as a
+         structured error rather than a crash. *)
+      fail "internal: execute_dml cannot handle %s"
+        (match stmt with
+        | Ast.Select _ -> "SELECT"
+        | Ast.Explain _ -> "EXPLAIN"
+        | Ast.Create_table _ -> "CREATE TABLE"
+        | Ast.Create_index _ -> "CREATE INDEX"
+        | Ast.Insert _ -> "INSERT"
+        | Ast.Delete _ | Ast.Update _ -> "DML (unreachable)")
 
 let header_of db sel =
   match sel.Ast.projection with

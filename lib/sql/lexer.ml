@@ -71,9 +71,19 @@ let tokenize src =
              done
          | _ -> ()
        end);
-      if !is_float then
-        emit (Float_lit (float_of_string (String.sub src start (!pos - start))))
-      else emit (Int_lit (int_of_string (String.sub src start (!pos - start))))
+      let lit = String.sub src start (!pos - start) in
+      if !is_float then begin
+        match float_of_string_opt lit with
+        | Some f -> emit (Float_lit f)
+        | None -> raise (Lex_error ("malformed number " ^ lit, start))
+      end
+      else begin
+        match int_of_string_opt lit with
+        | Some i -> emit (Int_lit i)
+        | None ->
+            (* e.g. wider than the native int — not representable *)
+            raise (Lex_error ("integer literal out of range " ^ lit, start))
+      end
     end
     else if c = '\'' then begin
       incr pos;

@@ -15,6 +15,8 @@ type t = {
   mutable count : int;
   mutable next_file : int;
   global : Cost.t;
+  classes : (int, Fault.file_class) Hashtbl.t;
+  mutable injector : Fault.t option;
 }
 
 let create ~capacity =
@@ -27,6 +29,8 @@ let create ~capacity =
     count = 0;
     next_file = 0;
     global = Cost.create ();
+    classes = Hashtbl.create 16;
+    injector = None;
   }
 
 let capacity t = t.cap
@@ -36,6 +40,16 @@ let fresh_file t =
   let id = t.next_file in
   t.next_file <- id + 1;
   id
+
+let classify t ~file cls = Hashtbl.replace t.classes file cls
+
+let file_class t file =
+  match Hashtbl.find_opt t.classes file with
+  | Some cls -> cls
+  | None -> Fault.Other
+
+let set_injector t inj = t.injector <- inj
+let injector t = t.injector
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
@@ -64,21 +78,43 @@ let make_resident t block =
   push_front t n;
   t.count <- t.count + 1
 
-let touch t meter block =
+let touch_read t meter block =
   match Hashtbl.find_opt t.table block with
   | Some n ->
       unlink t n;
       push_front t n;
       Cost.charge_logical meter;
-      Cost.charge_logical t.global
+      Cost.charge_logical t.global;
+      (match t.injector with
+      | None -> ()
+      | Some inj ->
+          Fault.on_read inj ~cls:(file_class t block.file) ~file:block.file
+            ~index:block.index ~hit:true);
+      `Hit
   | None ->
-      make_resident t block;
+      (* The I/O attempt is charged whether or not it succeeds; on a
+         fault the block does *not* become resident (the read failed,
+         there is nothing to cache), so a retry is another miss. *)
       Cost.charge_physical meter;
-      Cost.charge_physical t.global
+      Cost.charge_physical t.global;
+      (match t.injector with
+      | None -> ()
+      | Some inj ->
+          Fault.on_read inj ~cls:(file_class t block.file) ~file:block.file
+            ~index:block.index ~hit:false);
+      make_resident t block;
+      `Miss
+
+let touch t meter block = ignore (touch_read t meter block)
 
 let write t meter block =
   Cost.charge_write meter;
   Cost.charge_write t.global;
+  (match t.injector with
+  | None -> ()
+  | Some inj ->
+      Fault.on_write inj ~cls:(file_class t block.file) ~file:block.file
+        ~index:block.index);
   match Hashtbl.find_opt t.table block with
   | Some n ->
       unlink t n;

@@ -22,9 +22,30 @@ val resident : t -> int
 val fresh_file : t -> int
 (** Allocate a new file id (heap, index, or spill space). *)
 
+val classify : t -> file:int -> Fault.file_class -> unit
+(** Record a file's class (heap / index / spill) so the fault injector
+    can scope faults.  Backing stores call this at creation. *)
+
+val file_class : t -> int -> Fault.file_class
+(** [Other] if never classified. *)
+
+val set_injector : t -> Fault.t option -> unit
+(** Attach (or detach) a fault injector.  With [None] — the default —
+    every access behaves and costs exactly as an injector-free pool.
+    With an injector, reads and writes may raise {!Fault.Injected}
+    after being charged; a faulted read does not make the block
+    resident. *)
+
+val injector : t -> Fault.t option
+
 val touch : t -> Cost.t -> block -> unit
 (** Access a block for reading: charge logical on hit, physical on
     miss (and make it resident, evicting if full). *)
+
+val touch_read : t -> Cost.t -> block -> [ `Hit | `Miss ]
+(** [touch], reporting whether the access was a hit or a physical
+    read.  Checksummed stores verify page integrity on [`Miss] (a cold
+    read is the moment corruption would be observed). *)
 
 val write : t -> Cost.t -> block -> unit
 (** Access a block for writing: charges a block write; the block

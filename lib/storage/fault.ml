@@ -1,0 +1,160 @@
+module Prng = Rdb_util.Prng
+
+type file_class = Heap | Index | Spill | Other
+type kind = Transient | Persistent | Corrupt | Spill_full
+
+type failure = {
+  file : int;
+  index : int;
+  class_ : file_class;
+  kind : kind;
+}
+
+exception Injected of failure
+
+type plan = {
+  seed : int;
+  transient_read_rate : float;
+  transient_classes : file_class list;
+  transient_files : int list option;
+  persistent_files : int list;
+  corrupt_blocks : (int * int) list;
+  spill_write_budget : int option;
+}
+
+let null_plan =
+  {
+    seed = 0;
+    transient_read_rate = 0.0;
+    transient_classes = [];
+    transient_files = None;
+    persistent_files = [];
+    corrupt_blocks = [];
+    spill_write_budget = None;
+  }
+
+let plan ?(transient_read_rate = 0.0) ?(transient_classes = [ Heap; Index; Spill ])
+    ?transient_files ?(persistent_files = []) ?(corrupt_blocks = [])
+    ?spill_write_budget ~seed () =
+  if transient_read_rate < 0.0 || transient_read_rate > 1.0 then
+    invalid_arg "Fault.plan: transient_read_rate outside [0,1]";
+  {
+    seed;
+    transient_read_rate;
+    transient_classes;
+    transient_files;
+    persistent_files;
+    corrupt_blocks;
+    spill_write_budget;
+  }
+
+type t = {
+  plan : plan;
+  prng : Prng.t;
+  mutable corrupt_pending : (int * int) list;
+  mutable spill_writes : int;
+  mutable n_transient : int;
+  mutable n_persistent : int;
+  mutable n_corrupt : int;
+  mutable n_spill : int;
+}
+
+let create plan =
+  {
+    plan;
+    prng = Prng.create ~seed:plan.seed;
+    corrupt_pending = plan.corrupt_blocks;
+    spill_writes = 0;
+    n_transient = 0;
+    n_persistent = 0;
+    n_corrupt = 0;
+    n_spill = 0;
+  }
+
+let plan_of t = t.plan
+
+let persistent t ~file = List.mem file t.plan.persistent_files
+
+let transient_scope t ~cls ~file =
+  t.plan.transient_read_rate > 0.0
+  && List.mem cls t.plan.transient_classes
+  && match t.plan.transient_files with
+     | None -> true
+     | Some files -> List.mem file files
+
+let on_read t ~cls ~file ~index ~hit =
+  if persistent t ~file then begin
+    t.n_persistent <- t.n_persistent + 1;
+    raise (Injected { file; index; class_ = cls; kind = Persistent })
+  end;
+  if (not hit) && transient_scope t ~cls ~file
+     && Prng.float t.prng 1.0 < t.plan.transient_read_rate
+  then begin
+    t.n_transient <- t.n_transient + 1;
+    raise (Injected { file; index; class_ = cls; kind = Transient })
+  end
+
+let on_write t ~cls ~file ~index =
+  if persistent t ~file then begin
+    t.n_persistent <- t.n_persistent + 1;
+    raise (Injected { file; index; class_ = cls; kind = Persistent })
+  end;
+  if cls = Spill then begin
+    t.spill_writes <- t.spill_writes + 1;
+    match t.plan.spill_write_budget with
+    | Some budget when t.spill_writes > budget ->
+        t.n_spill <- t.n_spill + 1;
+        raise (Injected { file; index; class_ = cls; kind = Spill_full })
+    | _ -> ()
+  end
+
+let take_corruption t ~file ~index =
+  if List.mem (file, index) t.corrupt_pending then begin
+    t.corrupt_pending <-
+      List.filter (fun b -> b <> (file, index)) t.corrupt_pending;
+    t.n_corrupt <- t.n_corrupt + 1;
+    true
+  end
+  else false
+
+let is_transient f = f.kind = Transient
+let injected_transient t = t.n_transient
+let injected_persistent t = t.n_persistent
+let injected_corrupt t = t.n_corrupt
+let injected_spill t = t.n_spill
+let injected_total t = t.n_transient + t.n_persistent + t.n_corrupt + t.n_spill
+
+let class_name = function
+  | Heap -> "heap"
+  | Index -> "index"
+  | Spill -> "spill"
+  | Other -> "other"
+
+let kind_name = function
+  | Transient -> "transient"
+  | Persistent -> "persistent"
+  | Corrupt -> "corrupt"
+  | Spill_full -> "spill-full"
+
+let describe f =
+  Printf.sprintf "%s %s fault on %s file %d block %d" (kind_name f.kind)
+    (match f.kind with Spill_full -> "write" | _ -> "read")
+    (class_name f.class_) f.file f.index
+
+(* FNV-1a over machine ints / bytes; order-sensitive. *)
+let crc_init = 0xcbf29ce4
+let fnv_prime = 0x01000193
+
+let crc_int acc v =
+  let acc = (acc lxor (v land 0xffff)) * fnv_prime in
+  let acc = (acc lxor ((v lsr 16) land 0xffffffff)) * fnv_prime in
+  acc land max_int
+
+let crc_bytes acc b =
+  let acc = ref (crc_int acc (Bytes.length b)) in
+  for i = 0 to Bytes.length b - 1 do
+    acc := (!acc lxor Char.code (Bytes.unsafe_get b i)) * fnv_prime land max_int
+  done;
+  !acc
+
+let crc_scramble crc = crc lxor 0x5a5a5a5a

@@ -4,6 +4,12 @@ module Dynarray = Rdb_util.Dynarray
 type page = {
   slots : Bytes.t option Dynarray.t; (* None = tombstone *)
   mutable bytes_used : int;
+  (* Lazily-maintained content checksum: mutations invalidate, the
+     next cold read under a fault injector recomputes (dirty page) or
+     verifies (clean page).  Without an injector the fields are
+     untouched, keeping the seed cost profile bit-identical. *)
+  mutable crc : int;
+  mutable crc_valid : bool;
 }
 
 type t = {
@@ -17,9 +23,11 @@ type t = {
 
 let create ?(page_bytes = 8192) pool =
   if page_bytes < 64 then invalid_arg "Heap_file.create: page too small";
+  let file = Buffer_pool.fresh_file pool in
+  Buffer_pool.classify pool ~file Fault.Heap;
   {
     pool;
-    file = Buffer_pool.fresh_file pool;
+    file;
     page_bytes;
     pages = Dynarray.create ();
     live = 0;
@@ -43,22 +51,60 @@ let insert t row =
     match Dynarray.last t.pages with
     | Some p when p.bytes_used + size <= t.page_bytes -> (p, Dynarray.length t.pages - 1)
     | _ ->
-        let p = { slots = Dynarray.create (); bytes_used = 0 } in
+        let p =
+          { slots = Dynarray.create (); bytes_used = 0;
+            crc = Fault.crc_init; crc_valid = false }
+        in
         Dynarray.push t.pages p;
         (p, Dynarray.length t.pages - 1)
   in
   let slot = Dynarray.length page.slots in
   Dynarray.push page.slots (Some encoded);
   page.bytes_used <- page.bytes_used + size;
+  page.crc_valid <- false;
   t.live <- t.live + 1;
   t.max_slots <- Int.max t.max_slots (slot + 1);
   Rid.make ~page:page_no ~slot
 
+let page_crc page =
+  Dynarray.fold_left
+    (fun acc slot ->
+      match slot with
+      | None -> Fault.crc_int acc 0
+      | Some bytes -> Fault.crc_bytes acc bytes)
+    Fault.crc_init page.slots
+
+(* Checksum discipline on a cold read: a dirty page (mutated since the
+   last check) gets its crc recomputed — the write-side stamp; a clean
+   page is verified against the stored crc.  Verification is modelled
+   as free (the bytes are already in hand) and only runs under an
+   injector, so injector-off runs are cost- and work-identical. *)
+let audit t page page_no inj =
+  if not page.crc_valid then begin
+    page.crc <- page_crc page;
+    page.crc_valid <- true
+  end
+  else begin
+    if Fault.take_corruption inj ~file:t.file ~index:page_no then
+      page.crc <- Fault.crc_scramble page.crc;
+    if page_crc page <> page.crc then
+      raise
+        (Fault.Injected
+           { Fault.file = t.file; index = page_no; class_ = Fault.Heap;
+             kind = Fault.Corrupt })
+  end
+
 let get_page t meter page_no =
   if page_no < 0 || page_no >= Dynarray.length t.pages then None
   else begin
-    Buffer_pool.touch t.pool meter (block t page_no);
-    Some (Dynarray.get t.pages page_no)
+    let page = Dynarray.get t.pages page_no in
+    (match Buffer_pool.touch_read t.pool meter (block t page_no) with
+    | `Hit -> ()
+    | `Miss -> (
+        match Buffer_pool.injector t.pool with
+        | None -> ()
+        | Some inj -> audit t page page_no inj));
+    Some page
   end
 
 let fetch t meter (rid : Rid.t) =
@@ -85,6 +131,7 @@ let delete t meter (rid : Rid.t) =
         | Some bytes ->
             Dynarray.set page.slots rid.slot None;
             page.bytes_used <- page.bytes_used - (Bytes.length bytes + 4);
+            page.crc_valid <- false;
             t.live <- t.live - 1;
             Buffer_pool.write t.pool meter (block t rid.page);
             true
@@ -102,6 +149,7 @@ let update t meter (rid : Rid.t) row =
             let encoded = Row.encode row in
             Dynarray.set page.slots rid.slot (Some encoded);
             page.bytes_used <- page.bytes_used - Bytes.length old + Bytes.length encoded;
+            page.crc_valid <- false;
             Buffer_pool.write t.pool meter (block t rid.page);
             true
       end
@@ -122,9 +170,13 @@ let rec next c =
       let page_no = c.page_no + 1 in
       if page_no >= page_count c.heap then None
       else begin
+        (* Load before advancing the cursor: a faulted read leaves the
+           cursor unchanged, so re-calling [next] retries this page
+           instead of silently skipping it. *)
+        let loaded = get_page c.heap c.meter page_no in
         c.page_no <- page_no;
         c.slot <- 0;
-        c.loaded <- get_page c.heap c.meter page_no;
+        c.loaded <- loaded;
         next c
       end
   | Some page ->

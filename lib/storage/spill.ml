@@ -12,9 +12,11 @@ type t = {
 
 let create ?(rids_per_block = 1024) pool =
   if rids_per_block < 1 then invalid_arg "Spill.create";
+  let file = Buffer_pool.fresh_file pool in
+  Buffer_pool.classify pool ~file Fault.Spill;
   {
     pool;
-    file = Buffer_pool.fresh_file pool;
+    file;
     cap = rids_per_block;
     blocks = Dynarray.create ();
     tail = Dynarray.create ();

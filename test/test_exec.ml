@@ -69,6 +69,7 @@ let drain step_fn =
         loop ()
     | Scan.Continue -> loop ()
     | Scan.Done -> List.sort Rid.compare !out
+    | Scan.Failed f -> raise (Rdb_storage.Fault.Injected f)
   in
   loop ()
 
@@ -142,6 +143,7 @@ let test_fscan_matches_oracle_in_index_order () =
         loop ()
     | Scan.Continue -> loop ()
     | Scan.Done -> ()
+    | Scan.Failed f -> raise (Rdb_storage.Fault.Injected f)
   in
   loop ();
   let rids = List.sort Rid.compare (List.map fst !delivered) in
@@ -436,6 +438,7 @@ let test_fscan_filter_attached_mid_scan () =
           take (n - 1)
       | Scan.Continue -> take n
       | Scan.Done -> ()
+      | Scan.Failed f -> raise (Rdb_storage.Fault.Injected f)
     end
   in
   take 3;

@@ -1,0 +1,330 @@
+(* Tests for the fault injector and the degradation policies it
+   drives: injector-off neutrality, rows-invariance under transient
+   faults, quarantine / fallback / abort / quota policies with their
+   trace events, and buffer-pool invariants under random fault/flush
+   interleavings. *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_exec
+open Rdb_storage
+module Btree = Rdb_btree.Btree
+module Estimate = Rdb_btree.Estimate
+module R = Rdb_core.Retrieval
+
+let check = Alcotest.(check bool)
+
+let schema =
+  Schema.make
+    [
+      Schema.col "ID" Value.T_int;
+      Schema.col "X" Value.T_int;
+      Schema.col "Y" Value.T_int;
+      Schema.col "S" Value.T_str;
+    ]
+
+type fixture = { table : Table.t; pool : Buffer_pool.t }
+
+let fixture ?(rows = 2000) ?(pool_capacity = 1024) ?(seed = 11) () =
+  let pool = Buffer_pool.create ~capacity:pool_capacity in
+  let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
+  let rng = Rdb_util.Prng.create ~seed in
+  for i = 0 to rows - 1 do
+    ignore
+      (Table.insert table
+         [|
+           Value.int i;
+           Value.int (Rdb_util.Prng.int rng 100);
+           Value.int (Rdb_util.Prng.int rng 1000);
+           Value.str (Printf.sprintf "s%05d" i);
+         |])
+  done;
+  ignore (Table.create_index table ~name:"X_IDX" ~columns:[ "X" ] ());
+  ignore (Table.create_index table ~name:"Y_IDX" ~columns:[ "Y" ] ());
+  { table; pool }
+
+let oracle f pred =
+  let m = Cost.create () in
+  let out = ref [] in
+  Heap_file.iter (Table.heap f.table) m (fun _ row ->
+      if Predicate.eval pred schema row then out := row :: !out);
+  List.rev !out
+
+let sort_rows rows = List.sort (fun a b -> Row.compare_at [| 0 |] a b) rows
+
+let index_file f name =
+  Btree.file_id (Option.get (Table.find_index f.table name)).Table.tree
+
+let heap_file f = Heap_file.file_id (Table.heap f.table)
+
+let has_event pred trace = List.exists pred trace
+
+let degradation_event = function
+  | Trace.Fault_detected _ | Trace.Index_quarantined _ | Trace.Fallback_tscan _ ->
+      true
+  | _ -> false
+
+(* --- injector-off neutrality -------------------------------------------- *)
+
+(* A pool carrying a null-plan injector must behave and cost exactly
+   like a pool with no injector at all: the injector only turns charge
+   points into fault points, it never adds charges of its own. *)
+let test_null_injector_cost_identical () =
+  let run with_injector =
+    let f = fixture () in
+    if with_injector then
+      Buffer_pool.set_injector f.pool (Some (Fault.create Fault.null_plan));
+    let open Predicate in
+    let pred = And [ "X" <% Value.int 20; "Y" <% Value.int 400 ] in
+    let rows, s = R.run f.table (R.request pred) in
+    (sort_rows rows, s.R.total_cost, s.R.status)
+  in
+  let rows_off, cost_off, status_off = run false in
+  let rows_on, cost_on, status_on = run true in
+  check "rows identical" true (rows_off = rows_on);
+  check "cost identical" true (cost_off = cost_on);
+  check "both completed" true (status_off = R.Completed && status_on = R.Completed)
+
+(* --- rows invariant under transient faults ------------------------------- *)
+
+(* Transient faults perturb cost (retry penalties, interleave shifts)
+   but never the result set: retries resume from unchanged scan
+   positions.  Rates stay low enough that the bounded retry never
+   spuriously escalates a heap fault into an abort. *)
+let prop_transient_rows_invariant =
+  QCheck.Test.make ~name:"rows invariant under transient faults" ~count:8
+    QCheck.(pair (float_range 0.01 0.15) (int_range 1 1000))
+    (fun (rate, seed) ->
+      let f = fixture () in
+      let open Predicate in
+      let pred = And [ "X" <% Value.int 30; "Y" <% Value.int 500 ] in
+      let expected = sort_rows (oracle f pred) in
+      Buffer_pool.flush f.pool;
+      let inj =
+        Fault.create (Fault.plan ~transient_read_rate:rate ~seed ())
+      in
+      Buffer_pool.set_injector f.pool (Some inj);
+      let rows, s = R.run f.table (R.request pred) in
+      Buffer_pool.set_injector f.pool None;
+      s.R.status = R.Completed && sort_rows rows = expected)
+
+(* --- quarantine (background party) --------------------------------------- *)
+
+(* A Jscan whose second index lives on a dead file: the first scan
+   completes, the second faults persistently, [run] quarantines it and
+   the competition finishes with what it has. *)
+let test_jscan_quarantines_dead_index () =
+  let f = fixture () in
+  let open Predicate in
+  let pred = And [ "X" =% Value.int 7; "Y" <% Value.int 300 ] in
+  let candidate name =
+    let idx = Option.get (Table.find_index f.table name) in
+    let e = Range_extract.for_index pred idx in
+    {
+      Scan.idx;
+      ranges = e.Range_extract.ranges;
+      residual = e.Range_extract.residual;
+      est =
+        (let m = Cost.create () in
+         (Estimate.ranges idx.Table.tree m e.Range_extract.ranges).Estimate.estimate);
+      est_exact = false;
+    }
+  in
+  (* Build candidates while the pool is healthy, then kill Y_IDX. *)
+  let candidates = [ candidate "X_IDX"; candidate "Y_IDX" ] in
+  Buffer_pool.flush f.pool;
+  let inj =
+    Fault.create
+      (Fault.plan ~persistent_files:[ index_file f "Y_IDX" ] ~seed:1 ())
+  in
+  Buffer_pool.set_injector f.pool (Some inj);
+  let m = Cost.create () in
+  let trace = Trace.create () in
+  let j = Jscan.create f.table m Jscan.default_config trace ~candidates in
+  let outcome = Jscan.run j in
+  Buffer_pool.set_injector f.pool None;
+  check "quarantine traced" true
+    (has_event
+       (function Trace.Index_quarantined { index = "Y_IDX"; _ } -> true | _ -> false)
+       (Trace.events trace));
+  check "persistent fault recorded" true (Fault.injected_persistent inj > 0);
+  (* The X scan's list survives; retrieving by it (with the residual
+     re-checked on fetched rows) still yields exactly the oracle. *)
+  match outcome with
+  | Jscan.Recommend_tscan _ -> Alcotest.fail "healthy scan should have completed"
+  | Jscan.Rid_list rids ->
+      let m = Cost.create () in
+      let fin =
+        Final_stage.create f.table m ~rids ~restriction:pred
+          ~exclude:(fun _ -> false)
+      in
+      let rows = ref [] in
+      let rec drain () =
+        match Final_stage.step fin with
+        | Scan.Deliver (_, row) ->
+            rows := row :: !rows;
+            drain ()
+        | Scan.Continue -> drain ()
+        | Scan.Done -> ()
+        | Scan.Failed fl -> raise (Fault.Injected fl)
+      in
+      drain ();
+      check "rows match oracle after quarantine" true
+        (sort_rows !rows = sort_rows (oracle f pred))
+
+(* A full retrieval degrades around a dead index without the query
+   ever failing, and says so in the trace. *)
+let test_retrieval_survives_dead_index () =
+  let f = fixture () in
+  let open Predicate in
+  let pred = And [ "X" <% Value.int 20; "Y" <% Value.int 400 ] in
+  let expected = sort_rows (oracle f pred) in
+  Buffer_pool.flush f.pool;
+  let inj =
+    Fault.create
+      (Fault.plan ~persistent_files:[ index_file f "X_IDX" ] ~seed:2 ())
+  in
+  Buffer_pool.set_injector f.pool (Some inj);
+  let rows, s = R.run f.table (R.request pred) in
+  Buffer_pool.set_injector f.pool None;
+  check "completed" true (s.R.status = R.Completed);
+  check "rows match oracle" true (sort_rows rows = expected);
+  check "degradation traced" true (has_event degradation_event s.R.trace);
+  check "faults recorded" true (Fault.injected_persistent inj > 0)
+
+(* --- corruption ---------------------------------------------------------- *)
+
+let test_corrupt_leaf_detected_and_survived () =
+  let f = fixture () in
+  let tree = (Option.get (Table.find_index f.table "X_IDX")).Table.tree in
+  let leaf = List.hd (Btree.leaf_blocks tree) in
+  let open Predicate in
+  let pred = "X" <% Value.int 15 in
+  let expected = sort_rows (oracle f pred) in
+  let inj =
+    Fault.create
+      (Fault.plan ~corrupt_blocks:[ (Btree.file_id tree, leaf) ] ~seed:3 ())
+  in
+  Buffer_pool.set_injector f.pool (Some inj);
+  (* Checksums are lazily established: a first cold pass under the
+     injector computes them (a freshly built leaf is dirty), a second
+     cold pass verifies them — that is where the planned scramble
+     fires. *)
+  Buffer_pool.flush f.pool;
+  ignore (R.run f.table (R.request pred));
+  Buffer_pool.flush f.pool;
+  let rows, s = R.run f.table (R.request pred) in
+  Buffer_pool.set_injector f.pool None;
+  check "completed" true (s.R.status = R.Completed);
+  check "rows match oracle" true (sort_rows rows = expected);
+  check "corruption detected" true (Fault.injected_corrupt inj >= 1);
+  check "degradation traced" true (has_event degradation_event s.R.trace)
+
+(* --- heap abort ---------------------------------------------------------- *)
+
+let test_dead_heap_aborts_structurally () =
+  let f = fixture () in
+  Buffer_pool.flush f.pool;
+  let inj =
+    Fault.create (Fault.plan ~persistent_files:[ heap_file f ] ~seed:4 ())
+  in
+  Buffer_pool.set_injector f.pool (Some inj);
+  let rows, s = R.run f.table (R.request Predicate.True) in
+  Buffer_pool.set_injector f.pool None;
+  check "no rows" true (rows = []);
+  (match s.R.status with
+  | R.Aborted _ -> ()
+  | _ -> Alcotest.fail "dead heap must abort");
+  check "abort traced" true
+    (has_event (function Trace.Query_aborted _ -> true | _ -> false) s.R.trace)
+
+(* --- cost-quota governor -------------------------------------------------- *)
+
+let test_quota_cancels_at_quantum_boundary () =
+  let f = fixture () in
+  (* Cold pool: the full scan must pay physical reads, so a tiny quota
+     is exceeded partway through the stream. *)
+  Buffer_pool.flush f.pool;
+  let quota = 10.0 in
+  let cfg = { R.default_config with R.cost_quota = Some quota } in
+  let rows, s = R.run ~config:cfg f.table (R.request Predicate.True) in
+  (match s.R.status with
+  | R.Cancelled_quota { spent; quota = q } ->
+      check "reported quota" true (q = quota);
+      check "spent beyond quota" true (spent > quota)
+  | _ -> Alcotest.fail "tiny quota must cancel");
+  check "quota traced" true
+    (has_event (function Trace.Quota_exceeded _ -> true | _ -> false) s.R.trace);
+  check "truncated" true
+    (List.length rows < List.length (oracle f Predicate.True))
+
+(* --- pool invariants under fault/flush interleavings ---------------------- *)
+
+let prop_pool_invariants_under_faults =
+  QCheck.Test.make ~name:"pool residency/meters under fault interleavings"
+    ~count:6 QCheck.(int_range 1 1000)
+    (fun seed ->
+      let f = fixture ~rows:600 ~pool_capacity:64 () in
+      let inj =
+        Fault.create (Fault.plan ~transient_read_rate:0.1 ~seed ())
+      in
+      Buffer_pool.set_injector f.pool (Some inj);
+      let rng = Rdb_util.Prng.create ~seed:(seed + 1) in
+      let meter = Buffer_pool.global_meter f.pool in
+      let last_phys = ref (Cost.physical_reads meter) in
+      let last_log = ref (Cost.logical_reads meter) in
+      let ok = ref true in
+      let assert_invariants () =
+        if Buffer_pool.resident f.pool > Buffer_pool.capacity f.pool then
+          ok := false;
+        let p = Cost.physical_reads meter and l = Cost.logical_reads meter in
+        if p < !last_phys || l < !last_log then ok := false;
+        last_phys := p;
+        last_log := l
+      in
+      for _ = 1 to 12 do
+        (match Rdb_util.Prng.int rng 4 with
+        | 0 -> Buffer_pool.flush f.pool
+        | 1 -> Buffer_pool.evict_file f.pool (heap_file f)
+        | _ ->
+            let open Predicate in
+            let x = Rdb_util.Prng.int rng 80 in
+            let rows, s =
+              R.run f.table (R.request ("X" <% Value.int x))
+            in
+            if s.R.status <> R.Completed then ok := false;
+            (* the oracle itself must run fault-free *)
+            Buffer_pool.set_injector f.pool None;
+            let expected = sort_rows (oracle f ("X" <% Value.int x)) in
+            Buffer_pool.set_injector f.pool (Some inj);
+            if sort_rows rows <> expected then ok := false);
+        assert_invariants ()
+      done;
+      Buffer_pool.set_injector f.pool None;
+      !ok)
+
+let () =
+  Alcotest.run "rdb_fault"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "null injector is cost-identical" `Quick
+            test_null_injector_cost_identical;
+          QCheck_alcotest.to_alcotest prop_transient_rows_invariant;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "jscan quarantines dead index" `Quick
+            test_jscan_quarantines_dead_index;
+          Alcotest.test_case "retrieval survives dead index" `Quick
+            test_retrieval_survives_dead_index;
+          Alcotest.test_case "corrupt leaf detected and survived" `Quick
+            test_corrupt_leaf_detected_and_survived;
+          Alcotest.test_case "dead heap aborts structurally" `Quick
+            test_dead_heap_aborts_structurally;
+          Alcotest.test_case "quota cancels at quantum boundary" `Quick
+            test_quota_cancels_at_quantum_boundary;
+        ] );
+      ( "pool",
+        [ QCheck_alcotest.to_alcotest prop_pool_invariants_under_faults ] );
+    ]

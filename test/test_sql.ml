@@ -205,6 +205,33 @@ let prop_print_parse_roundtrip =
   QCheck.Test.make ~name:"parse (print select) = select" ~count:300 arb_select
     (fun sel -> Parser.parse_select (Ast.select_to_string sel) = sel)
 
+(* Fuzz the lexer+parser with arbitrary byte strings: every input must
+   either parse or raise one of the two structured front-end errors —
+   never an assert, Match_failure, or stack overflow (the shell relies
+   on this to stay alive on garbage input). *)
+let prop_parser_total_on_garbage =
+  let arb_bytes =
+    let open QCheck.Gen in
+    let any_byte = map Char.chr (int_range 0 255) in
+    let sqlish =
+      oneofl
+        [
+          "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "IN"; "("; ")"; ",";
+          ";"; "'"; "''"; "*"; "="; "<"; ">"; ":"; "."; "--"; "1e"; "-"; "NULL";
+          "BETWEEN"; "LIKE"; "IS"; "T"; "0"; "9999999999999999999999";
+        ]
+    in
+    let fragment = oneof [ map (String.make 1) any_byte; sqlish ] in
+    QCheck.make ~print:String.escaped
+      (map (String.concat " ") (list_size (int_range 0 12) fragment))
+  in
+  QCheck.Test.make ~name:"lexer/parser total on arbitrary bytes" ~count:1000 arb_bytes
+    (fun src ->
+      match Parser.parse_statement src with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true)
+
 let test_statement_printing () =
   List.iter
     (fun src ->
@@ -600,6 +627,7 @@ let () =
           Alcotest.test_case "negative/exponent literals" `Quick
             test_parse_negative_and_exponent_literals;
           QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+          QCheck_alcotest.to_alcotest prop_parser_total_on_garbage;
           Alcotest.test_case "statement printing" `Quick test_statement_printing;
         ] );
       ( "executor",
