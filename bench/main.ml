@@ -28,12 +28,52 @@ let experiments : (string * string * (unit -> unit)) list =
     (Exp_mixed.name, Exp_mixed.description, Exp_mixed.run);
     (Exp_clustering.name, Exp_clustering.description, Exp_clustering.run);
     (Exp_faults.name, Exp_faults.description, Exp_faults.run);
+    (Exp_concurrency.name, Exp_concurrency.description, Exp_concurrency.run);
     (Exp_micro.name, Exp_micro.description, Exp_micro.run);
   ]
 
 let list_experiments () =
   print_endline "available experiments:";
   List.iter (fun (n, d, _) -> Printf.printf "  %-12s %s\n" n d) experiments
+
+(* Run one experiment with stdout captured to a temp file, then replay
+   it and scan the "paper checkpoints" booleans: any line ending in
+   ": false" is a failed checkpoint.  This makes the harness its own
+   gate — CI (and any scripted run) fails on exit code instead of
+   grepping, so a checkpoint regression can never pass vacuously. *)
+let run_gated (name, _, run) =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let tmp = Filename.temp_file "rdb-bench" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  (match run () with
+  | () -> restore ()
+  | exception e ->
+      restore ();
+      let out = In_channel.with_open_text tmp In_channel.input_all in
+      Sys.remove tmp;
+      print_string out;
+      raise e);
+  let out = In_channel.with_open_text tmp In_channel.input_all in
+  Sys.remove tmp;
+  print_string out;
+  let failed =
+    List.filter
+      (fun line ->
+        let line = String.trim line in
+        String.length line >= 7
+        && String.sub line (String.length line - 7) 7 = ": false")
+      (String.split_on_char '\n' out)
+  in
+  List.iter (Printf.eprintf "CHECKPOINT FAILED [%s] %s\n" name) failed;
+  List.length failed
 
 let main selected list_only =
   if list_only then list_experiments ()
@@ -51,8 +91,12 @@ let main selected list_only =
                   exit 2)
             names
     in
-    List.iter (fun (_, _, run) -> run ()) to_run;
-    print_newline ()
+    let failures = List.fold_left (fun acc e -> acc + run_gated e) 0 to_run in
+    print_newline ();
+    if failures > 0 then begin
+      Printf.eprintf "%d paper checkpoint(s) failed\n" failures;
+      exit 1
+    end
   end
 
 open Cmdliner

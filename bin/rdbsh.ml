@@ -1,6 +1,6 @@
 (* rdbsh — interactive SQL shell over the dynamic-optimization engine.
 
-   Usage: rdbsh [--demo] [--pool N] [-e SQL] [--file SCRIPT]
+   Usage: rdbsh [--demo] [--pool N] [--concurrent] [-e SQL] [--file SCRIPT]
 
    Statements may span lines and end with ';' (interactive mode reads
    until the terminator).  Scripts are executed statement by
@@ -13,6 +13,7 @@
      .set NAME VALUE    bind a host variable (:NAME), VALUE int or 'str'
      .unset NAME        remove a binding
      .params            show bindings
+     .concurrent [I] [N]  N queries through the session scheduler, I in-flight
      .quit              exit
 
    Anything else is SQL; EXPLAIN SELECT ... shows the dynamic
@@ -36,6 +37,37 @@ let load_demo db =
     print_endline "demo datasets loaded: FAMILIES (20000), ORDERS (30000), EMPLOYEES (20000)"
   end
   else print_endline "demo datasets already loaded"
+
+(* .concurrent / --concurrent: drive a seeded mixed workload through
+   the multi-query session scheduler against the shared pool and print
+   its report (the scheduler's EXPLAIN). *)
+let run_concurrent db inflight count =
+  if inflight < 1 then failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1]";
+  if count < 1 then failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1]";
+  load_demo db;
+  let table = Database.table db "ORDERS" in
+  let specs = Rdb_workload.Traffic.orders_mix ~seed:7 ~count () in
+  let module S = Rdb_core.Session in
+  let module R = Rdb_core.Retrieval in
+  let sched =
+    S.create ~config:{ S.default_config with S.max_inflight = inflight } db
+  in
+  List.iter
+    (fun (sp : Rdb_workload.Traffic.spec) ->
+      ignore
+        (S.submit sched ~label:sp.Rdb_workload.Traffic.label
+           ?limit:sp.Rdb_workload.Traffic.limit table
+           (R.request ~env:sp.Rdb_workload.Traffic.env
+              ~order_by:sp.Rdb_workload.Traffic.order_by
+              ?explicit_goal:
+                (if sp.Rdb_workload.Traffic.fast_first then Some Rdb_core.Goal.Fast_first
+                 else None)
+              sp.Rdb_workload.Traffic.pred)))
+    specs;
+  Printf.printf "%d queries, max %d in-flight, shared pool of %d blocks:\n" count
+    inflight
+    (Rdb_storage.Buffer_pool.capacity (Database.pool db));
+  print_string (S.report_to_string (S.run sched))
 
 let show_tables db =
   List.iter
@@ -108,7 +140,8 @@ let meta db line =
   | [ ".help" ] ->
       print_endline
         ".tables | .demo | .set NAME VALUE | .unset NAME | .params | .flush | .stats | \
-         .quit — else SQL (SELECT/INSERT/UPDATE/DELETE/CREATE/EXPLAIN)"
+         .concurrent [INFLIGHT] [COUNT] | .quit — else SQL \
+         (SELECT/INSERT/UPDATE/DELETE/CREATE/EXPLAIN)"
   | [ ".tables" ] -> show_tables db
   | [ ".demo" ] -> load_demo db
   | [ ".flush" ] ->
@@ -122,6 +155,20 @@ let meta db line =
       Printf.printf "lifetime charges: %s\n"
         (Format.asprintf "%a" Rdb_storage.Cost.pp
            (Rdb_storage.Buffer_pool.global_meter pool))
+  | ".concurrent" :: rest ->
+      let int_arg s =
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1]"
+      in
+      let inflight, count =
+        match rest with
+        | [] -> (4, 12)
+        | [ i ] -> (int_arg i, 12)
+        | [ i; c ] -> (int_arg i, int_arg c)
+        | _ -> failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1]"
+      in
+      run_concurrent db inflight count
   | [ ".params" ] ->
       List.iter (fun (k, v) -> Printf.printf ":%s = %s\n" k (Value.to_string v)) !params
   | [ ".set"; name; value ] ->
@@ -224,11 +271,12 @@ let repl db =
   in
   loop ()
 
-let main demo pool commands script =
+let main demo pool concurrent commands script =
   let db = Database.create ~pool_capacity:pool () in
   if demo then load_demo db;
+  if concurrent then protect (fun () -> run_concurrent db 4 12);
   match (commands, script) with
-  | [], None -> repl db
+  | [], None -> if concurrent then () else repl db
   | cmds, script ->
       List.iter
         (fun sql ->
@@ -248,6 +296,15 @@ let demo_flag =
 let pool_opt =
   Arg.(value & opt int 256 & info [ "pool" ] ~docv:"BLOCKS" ~doc:"Buffer pool capacity.")
 
+let concurrent_flag =
+  Arg.(
+    value & flag
+    & info [ "concurrent" ]
+        ~doc:
+          "Run a seeded mixed workload through the multi-query session scheduler \
+           (shared buffer pool, admission control, fairness) and exit.  Same as the \
+           .concurrent meta command.")
+
 let exec_opt =
   Arg.(
     value & opt_all string []
@@ -263,6 +320,6 @@ let cmd =
   let doc = "SQL shell over the Rdb/VMS-style dynamic query optimizer" in
   Cmd.v
     (Cmd.info "rdbsh" ~doc)
-    Term.(const main $ demo_flag $ pool_opt $ exec_opt $ script_opt)
+    Term.(const main $ demo_flag $ pool_opt $ concurrent_flag $ exec_opt $ script_opt)
 
 let () = exit (Cmd.eval cmd)

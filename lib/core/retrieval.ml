@@ -146,6 +146,8 @@ type cursor = {
   est_meter : Cost.t;
   order_ids : int array;  (** requested order, as column positions *)
   mutable sorted_rows : (Rid.t * Row.t) list option;  (** materialized post-sort *)
+  mutable presort : (Rid.t * Row.t) list;
+      (** rows accumulated (reversed) while draining ahead of the sort *)
   mutable needs_sort : bool;
   ordered_by_index : bool;
       (** delivery order came from an index: a fault fallback must
@@ -631,6 +633,7 @@ let open_ ?(config = default_config) table (req : request) =
     est_meter;
     order_ids;
     sorted_rows = None;
+    presort = [];
     needs_sort;
     ordered_by_index = classified_order;
     delivered_rids = Hashtbl.create 64;
@@ -693,75 +696,90 @@ let handle_fault c f =
         | Fault.Index | Fault.Spill | Fault.Other -> fallback_tscan c f)
   end
 
-let rec fetch_raw c =
-  if c.aborted <> None || c.quota_hit <> None then None
+(* One quantum of raw progress: a single [step_machine] call plus the
+   quota check and fault policies — the unit the multi-query session
+   scheduler interleaves by. *)
+let quantum_raw c =
+  if c.aborted <> None || c.quota_hit <> None then `Exhausted
   else begin
     match c.cfg.cost_quota with
     | Some quota when total_cost c > quota ->
         Trace.emit c.trace (Trace.Quota_exceeded { spent = total_cost c; quota });
         c.quota_hit <- Some (total_cost c, quota);
-        None
+        `Exhausted
     | _ -> (
         c.pending_bg <- None;
         match step_machine c with
         | Scan.Deliver (rid, row) ->
             c.consec_faults <- 0;
-            if c.exclude_delivered && Hashtbl.mem c.delivered_rids rid then fetch_raw c
+            if c.exclude_delivered && Hashtbl.mem c.delivered_rids rid then `Working
             else begin
               Hashtbl.replace c.delivered_rids rid ();
-              Some (rid, row)
+              `Row (rid, row)
             end
         | Scan.Continue ->
             c.consec_faults <- 0;
-            fetch_raw c
+            `Working
         | Scan.Done ->
             c.consec_faults <- 0;
-            None
+            `Exhausted
         | Scan.Failed f ->
             handle_fault c f;
-            fetch_raw c)
+            `Working)
   end
 
-let fetch_pair c =
-  if c.closed then None
-  else begin
-    let pair =
-      if c.needs_sort then begin
-        (match c.sorted_rows with
-        | None ->
-            (* Materialize and sort (the SORT node that made this goal
-               total-time in the first place). *)
-            let rows = ref [] in
-            let rec drain () =
-              match fetch_raw c with
-              | Some p ->
-                  rows := p :: !rows;
-                  drain ()
-              | None -> ()
-            in
-            drain ();
-            let arr = Array.of_list (List.rev !rows) in
-            Array.sort (fun (_, a) (_, b) -> Row.compare_at c.order_ids a b) arr;
-            Cost.charge_cpu c.fgr_meter (Array.length arr);
-            c.sorted_rows <- Some (Array.to_list arr)
-        | Some _ -> ());
-        match c.sorted_rows with
-        | Some (p :: rest) ->
-            c.sorted_rows <- Some rest;
-            Some p
-        | Some [] | None -> None
-      end
-      else fetch_raw c
-    in
-    (match pair with
-    | Some _ ->
-        c.delivered <- c.delivered + 1;
-        if c.first_row_cost = None then c.first_row_cost <- Some (total_cost c)
-    | None -> ());
-    pair
-  end
+type step_result = Step_row of Rid.t * Row.t | Step_working | Step_done
+
+let step c =
+  let raw =
+    if c.closed then Step_done
+    else if c.needs_sort then begin
+      match c.sorted_rows with
+      | Some (p :: rest) ->
+          c.sorted_rows <- Some rest;
+          Step_row (fst p, snd p)
+      | Some [] -> Step_done
+      | None -> (
+          match quantum_raw c with
+          | `Row p ->
+              c.presort <- p :: c.presort;
+              Step_working
+          | `Working -> Step_working
+          | `Exhausted ->
+              (* Materialize and sort (the SORT node that made this goal
+                 total-time in the first place). *)
+              let arr = Array.of_list (List.rev c.presort) in
+              c.presort <- [];
+              Array.sort (fun (_, a) (_, b) -> Row.compare_at c.order_ids a b) arr;
+              Cost.charge_cpu c.fgr_meter (Array.length arr);
+              c.sorted_rows <- Some (Array.to_list arr);
+              Step_working)
+    end
+    else begin
+      match quantum_raw c with
+      | `Row (rid, row) -> Step_row (rid, row)
+      | `Working -> Step_working
+      | `Exhausted -> Step_done
+    end
+  in
+  (match raw with
+  | Step_row _ ->
+      c.delivered <- c.delivered + 1;
+      if c.first_row_cost = None then c.first_row_cost <- Some (total_cost c)
+  | Step_working | Step_done -> ());
+  raw
+
+let rec fetch_pair c =
+  match step c with
+  | Step_row (rid, row) -> Some (rid, row)
+  | Step_working -> fetch_pair c
+  | Step_done -> None
 
 let fetch c = Option.map snd (fetch_pair c)
+
+let spent = total_cost
+let rows_delivered c = c.delivered
+let tactic c = c.tactic
 
 let close c =
   match c.summary with

@@ -108,6 +108,26 @@ val fetch_pair : cursor -> (Rid.t * Row.t) option
 (** Like {!fetch} but exposing the record's RID (DELETE/UPDATE drive
     this). *)
 
+type step_result =
+  | Step_row of Rid.t * Row.t  (** a qualifying row was delivered *)
+  | Step_working  (** one quantum of work done, nothing delivered yet *)
+  | Step_done  (** exhausted (or cancelled/aborted; see the summary) *)
+
+val step : cursor -> step_result
+(** Advance by exactly one cost quantum (one scan-machine step, plus
+    the quota check and fault policies).  [fetch] is a loop over
+    [step]; the multi-query session scheduler ({!Session}) interleaves
+    cursors by calling [step] directly so that no query can hold the
+    engine for longer than a bounded amount of charged cost. *)
+
+val spent : cursor -> float
+(** Total cost charged to this retrieval so far (foreground +
+    background + estimation meters) — the scheduler's fairness
+    currency. *)
+
+val rows_delivered : cursor -> int
+val tactic : cursor -> tactic_kind
+
 val close : cursor -> summary
 (** May be called at any time (early termination).  Idempotent. *)
 

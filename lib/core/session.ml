@@ -1,0 +1,325 @@
+open Rdb_data
+open Rdb_engine
+open Rdb_exec
+open Rdb_storage
+
+type config = {
+  max_inflight : int;
+  quantum : float;
+  max_steps_per_quantum : int;
+  starvation_bound : int;
+  retrieval : Retrieval.config;
+  record_events : bool;
+}
+
+let default_config =
+  {
+    max_inflight = 4;
+    quantum = 50.0;
+    max_steps_per_quantum = 4096;
+    starvation_bound = 16;
+    retrieval = Retrieval.default_config;
+    record_events = true;
+  }
+
+type id = int
+
+type event =
+  | Submitted of { id : id; label : string }
+  | Admitted of { id : id; tick : int; waited : int }
+  | Finished of { id : id; tick : int; rows : int }
+
+type session_stats = {
+  s_id : id;
+  s_label : string;
+  s_rows : int;
+  s_quanta : int;
+  s_charged : float;
+  s_queue_wait : int;
+  s_max_gap : int;
+  s_degradations : int;
+  s_summary : Retrieval.summary;
+}
+
+type pool_stats = {
+  p_grants : int;
+  p_physical : int;
+  p_logical : int;
+  p_hit_rate : float;
+  p_total_cost : float;
+  p_max_inflight_seen : int;
+}
+
+type report = {
+  sessions : session_stats list;
+  pool : pool_stats;
+  events : event list;
+}
+
+(* Internal per-query record.  A query is Queued (no cursor yet: the
+   plan is chosen at admission), then Active, then Done. *)
+type query = {
+  q_id : id;
+  q_label : string;
+  q_table : Table.t;
+  q_request : Retrieval.request;
+  q_config : Retrieval.config;
+  q_limit : int option;
+  mutable q_cursor : Retrieval.cursor option;
+  mutable q_rows : Row.t list;  (** reversed *)
+  mutable q_quanta : int;
+  mutable q_charged : float;
+  mutable q_queue_wait : int;
+  mutable q_admitted_at : int;
+  mutable q_last_grant : int;  (** tick of the last grant (or admission) *)
+  mutable q_max_gap : int;
+  mutable q_summary : Retrieval.summary option;
+}
+
+type t = {
+  cfg : config;
+  db : Database.t;
+  mutable queries : query list;  (** reversed submission order *)
+  mutable next_id : int;
+  mutable events : event list;  (** reversed *)
+  mutable ran : bool;
+}
+
+let create ?(config = default_config) db =
+  if config.max_inflight < 1 then invalid_arg "Session.create: max_inflight < 1";
+  if config.quantum <= 0.0 then invalid_arg "Session.create: quantum <= 0";
+  { cfg = config; db; queries = []; next_id = 0; events = []; ran = false }
+
+let emit t e = if t.cfg.record_events then t.events <- e :: t.events
+
+let submit t ?label ?config ?limit table request =
+  if t.ran then invalid_arg "Session.submit: scheduler already ran";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let label = match label with Some l -> l | None -> Printf.sprintf "q%d" id in
+  let q =
+    {
+      q_id = id;
+      q_label = label;
+      q_table = table;
+      q_request = request;
+      q_config = (match config with Some c -> c | None -> t.cfg.retrieval);
+      q_limit = limit;
+      q_cursor = None;
+      q_rows = [];
+      q_quanta = 0;
+      q_charged = 0.0;
+      q_queue_wait = 0;
+      q_admitted_at = 0;
+      q_last_grant = 0;
+      q_max_gap = 0;
+      q_summary = None;
+    }
+  in
+  t.queries <- q :: t.queries;
+  emit t (Submitted { id; label });
+  id
+
+let degradations (s : Retrieval.summary) =
+  List.length
+    (List.filter
+       (function
+         | Trace.Fault_retry _ | Trace.Index_quarantined _ | Trace.Fallback_tscan _ ->
+             true
+         | _ -> false)
+       s.Retrieval.trace)
+
+(* Admission order: smallest declared cost quota first (a bounded query
+   may jump an unbounded one), FIFO within a quota class. *)
+let admission_key q =
+  match q.q_config.Retrieval.cost_quota with
+  | Some quota -> (quota, q.q_id)
+  | None -> (infinity, q.q_id)
+
+let pick_admission pending =
+  match pending with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best q -> if admission_key q < admission_key best then q else best)
+           first rest)
+
+let finished q =
+  match q.q_limit with
+  | Some n when Option.is_some q.q_cursor ->
+      Retrieval.rows_delivered (Option.get q.q_cursor) >= n
+  | _ -> false
+
+let run t =
+  if t.ran then invalid_arg "Session.run: scheduler already ran";
+  t.ran <- true;
+  let all = List.rev t.queries in
+  let pool = Database.pool t.db in
+  let meter0 = Cost.snapshot (Buffer_pool.global_meter pool) in
+  let pending = ref all in
+  let active = ref [] in
+  let tick = ref 0 in
+  let max_inflight_seen = ref 0 in
+  let close_query q =
+    (match q.q_cursor with
+    | Some c -> q.q_summary <- Some (Retrieval.close c)
+    | None ->
+        (* never admitted (defensive; cannot happen with max_inflight
+           >= 1): open and close so the report stays total *)
+        let c = Retrieval.open_ ~config:q.q_config q.q_table q.q_request in
+        q.q_summary <- Some (Retrieval.close c));
+    emit t (Finished { id = q.q_id; tick = !tick; rows = List.length q.q_rows })
+  in
+  let admit () =
+    while List.length !active < t.cfg.max_inflight && !pending <> [] do
+      match pick_admission !pending with
+      | None -> ()
+      | Some q ->
+          pending := List.filter (fun p -> p.q_id <> q.q_id) !pending;
+          q.q_queue_wait <- !tick;
+          q.q_admitted_at <- !tick;
+          q.q_last_grant <- !tick;
+          (* Plan choice happens here, sequentially: competition state
+             is born inside this cursor and never shared. *)
+          q.q_cursor <- Some (Retrieval.open_ ~config:q.q_config q.q_table q.q_request);
+          emit t (Admitted { id = q.q_id; tick = !tick; waited = !tick });
+          active := !active @ [ q ];
+          max_inflight_seen := max !max_inflight_seen (List.length !active)
+    done
+  in
+  (* Least-charged-first with a starvation override: any session passed
+     over for [starvation_bound] consecutive grants runs next. *)
+  let pick_next () =
+    match !active with
+    | [] -> None
+    | _ :: _ ->
+        let gap q = !tick - q.q_last_grant in
+        let starving =
+          List.filter (fun q -> gap q >= t.cfg.starvation_bound) !active
+        in
+        let by_key key qs =
+          List.fold_left
+            (fun best q -> if key q < key best then q else best)
+            (List.hd qs) qs
+        in
+        Some
+          (match starving with
+          | [] -> by_key (fun q -> (q.q_charged, q.q_id)) !active
+          | qs -> by_key (fun q -> (-gap q, q.q_id)) qs)
+  in
+  let grant q =
+    let cursor = Option.get q.q_cursor in
+    let before = Retrieval.spent cursor in
+    let gap = !tick - q.q_last_grant in
+    q.q_max_gap <- max q.q_max_gap gap;
+    q.q_last_grant <- !tick;
+    incr tick;
+    q.q_quanta <- q.q_quanta + 1;
+    let steps = ref 0 in
+    let done_ = ref (finished q) in
+    while
+      (not !done_)
+      && Retrieval.spent cursor -. before < t.cfg.quantum
+      && !steps < t.cfg.max_steps_per_quantum
+    do
+      incr steps;
+      match Retrieval.step cursor with
+      | Retrieval.Step_row (_, row) ->
+          q.q_rows <- row :: q.q_rows;
+          if finished q then done_ := true
+      | Retrieval.Step_working -> ()
+      | Retrieval.Step_done -> done_ := true
+    done;
+    q.q_charged <- q.q_charged +. (Retrieval.spent cursor -. before);
+    if !done_ then begin
+      close_query q;
+      active := List.filter (fun p -> p.q_id <> q.q_id) !active
+    end
+  in
+  admit ();
+  let rec loop () =
+    match pick_next () with
+    | Some q ->
+        grant q;
+        admit ();
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  (* Queries never admitted (impossible today, but keep the report
+     total) — close them with an opened-then-closed cursor. *)
+  List.iter (fun q -> if q.q_summary = None then close_query q) all;
+  let meter1 = Buffer_pool.global_meter pool in
+  let physical = Cost.physical_reads meter1 - Cost.physical_reads meter0 in
+  let logical = Cost.logical_reads meter1 - Cost.logical_reads meter0 in
+  let sessions =
+    List.map
+      (fun q ->
+        let summary = Option.get q.q_summary in
+        {
+          s_id = q.q_id;
+          s_label = q.q_label;
+          s_rows = List.length q.q_rows;
+          s_quanta = q.q_quanta;
+          s_charged = q.q_charged;
+          s_queue_wait = q.q_queue_wait;
+          s_max_gap = q.q_max_gap;
+          s_degradations = degradations summary;
+          s_summary = summary;
+        })
+      all
+  in
+  let total_cost = List.fold_left (fun acc s -> acc +. s.s_charged) 0.0 sessions in
+  {
+    sessions;
+    pool =
+      {
+        p_grants = !tick;
+        p_physical = physical;
+        p_logical = logical;
+        p_hit_rate =
+          (if physical + logical = 0 then 1.0
+           else float_of_int logical /. float_of_int (physical + logical));
+        p_total_cost = total_cost;
+        p_max_inflight_seen = !max_inflight_seen;
+      };
+    events = List.rev t.events;
+  }
+
+let rows_of t id =
+  match List.find_opt (fun q -> q.q_id = id) t.queries with
+  | Some q -> List.rev q.q_rows
+  | None -> invalid_arg "Session.rows_of: unknown id"
+
+let event_to_string = function
+  | Submitted { id; label } -> Printf.sprintf "submitted q%d (%s)" id label
+  | Admitted { id; tick; waited } ->
+      Printf.sprintf "admitted q%d at grant %d (waited %d)" id tick waited
+  | Finished { id; tick; rows } ->
+      Printf.sprintf "finished q%d at grant %d (%d rows)" id tick rows
+
+let report_to_string r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "session                       rows  quanta  charged  wait  max-gap  degr  tactic / status\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %5d %7d %8.1f %5d %8d %5d  %s / %s\n" s.s_label s.s_rows
+           s.s_quanta s.s_charged s.s_queue_wait s.s_max_gap s.s_degradations
+           (Retrieval.tactic_to_string s.s_summary.Retrieval.tactic)
+           (Retrieval.status_to_string s.s_summary.Retrieval.status)))
+    r.sessions;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "pool: %d grants, %d physical + %d logical reads (hit rate %.3f), total \
+        charged %.1f, max in-flight %d\n"
+       r.pool.p_grants r.pool.p_physical r.pool.p_logical r.pool.p_hit_rate
+       r.pool.p_total_cost r.pool.p_max_inflight_seen);
+  (match r.events with
+  | [] -> ()
+  | evs ->
+      Buffer.add_string buf "events:\n";
+      List.iter (fun e -> Buffer.add_string buf ("  " ^ event_to_string e ^ "\n")) evs);
+  Buffer.contents buf

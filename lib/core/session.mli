@@ -1,0 +1,118 @@
+(** Multi-query session scheduler over one shared buffer pool.
+
+    Rdb/VMS ran its dynamic optimizer under concurrent sessions: many
+    queries competing for one page buffer, each internally interleaving
+    foreground and background scans (§3, §7).  This module reproduces
+    that pressure deterministically: a cooperative scheduler drives N
+    concurrent {!Retrieval} cursors against one shared
+    {!Rdb_engine.Database} pool by round-robin {e cost quanta}.
+
+    Guarantees:
+
+    + {b Admission control.}  At most [max_inflight] queries hold open
+      cursors; the rest wait in a queue ordered by (declared cost
+      quota, arrival) — a bounded query (small [cost_quota]) may jump
+      an unbounded one, ties broken FIFO.  Plans are chosen at
+      admission time, one query at a time, so planning itself is never
+      interleaved.
+    + {b Fairness.}  Each grant gives one session up to [quantum] cost
+      units of work (measured by its own meters).  The next grant goes
+      to the active session with the least charged cost (deterministic
+      tie-break: lowest id) — but any session passed over for
+      [starvation_bound] consecutive grants is scheduled next
+      unconditionally, so the wait of a runnable session is bounded.
+    + {b Isolation.}  Competition state (guaranteed best, quarantine,
+      fallback, retry counters) lives inside each cursor; one query's
+      degradation never perturbs another's plan choice.  Queries
+      interact only through the shared buffer pool — i.e. through
+      {e cost}, never through {e results}.
+    + {b Determinism.}  No wall clock, no OS scheduler: two runs with
+      equal seeds and configs produce byte-identical reports.
+
+    Observability: per-session counters (quanta, charged cost, queue
+    wait, max scheduling gap, degradations) and pool-wide counters
+    (grants, physical/logical reads, hit rate) in the {!report}, plus
+    a stable text rendering ({!report_to_string}) that serves as the
+    scheduler's EXPLAIN. *)
+
+open Rdb_data
+open Rdb_engine
+
+type config = {
+  max_inflight : int;  (** admission-control limit, >= 1 *)
+  quantum : float;  (** cost units granted per scheduling slice *)
+  max_steps_per_quantum : int;
+      (** hard step bound per grant, so zero-cost delivery (e.g. from a
+          materialized sort) cannot hold the engine *)
+  starvation_bound : int;
+      (** a runnable session passed over this many consecutive grants
+          is scheduled next unconditionally *)
+  retrieval : Retrieval.config;  (** default per-query config *)
+  record_events : bool;  (** keep the scheduler event log (golden tests) *)
+}
+
+val default_config : config
+
+type id = int
+
+type event =
+  | Submitted of { id : id; label : string }
+  | Admitted of { id : id; tick : int; waited : int }
+      (** [waited] = grants issued between submission and admission *)
+  | Finished of { id : id; tick : int; rows : int }
+
+type session_stats = {
+  s_id : id;
+  s_label : string;
+  s_rows : int;
+  s_quanta : int;  (** grants this session received *)
+  s_charged : float;  (** cost charged across its grants *)
+  s_queue_wait : int;  (** grants issued while it waited for admission *)
+  s_max_gap : int;
+      (** max grants between two consecutive slices while runnable *)
+  s_degradations : int;
+      (** fault retries + quarantines + fallbacks in its trace *)
+  s_summary : Retrieval.summary;
+}
+
+type pool_stats = {
+  p_grants : int;  (** total quanta granted *)
+  p_physical : int;  (** pool physical reads during the run *)
+  p_logical : int;  (** pool logical reads during the run *)
+  p_hit_rate : float;  (** logical / (logical + physical); 1.0 if no reads *)
+  p_total_cost : float;  (** sum of per-session charged cost *)
+  p_max_inflight_seen : int;
+}
+
+type report = {
+  sessions : session_stats list;  (** in submission order *)
+  pool : pool_stats;
+  events : event list;  (** empty unless [record_events] *)
+}
+
+type t
+
+val create : ?config:config -> Database.t -> t
+
+val submit :
+  t ->
+  ?label:string ->
+  ?config:Retrieval.config ->
+  ?limit:int ->
+  Table.t ->
+  Retrieval.request ->
+  id
+(** Enqueue a query.  Ids are dense, in submission order.  The table
+    must share the scheduler's database pool. *)
+
+val run : t -> report
+(** Drive every submitted query to completion and return the report.
+    May be called once; reuse requires a fresh scheduler. *)
+
+val rows_of : t -> id -> Row.t list
+(** Rows the session delivered, in delivery order (valid after
+    {!run}). *)
+
+val report_to_string : report -> string
+(** Deterministic text rendering: one line per session plus the pool
+    totals — the scheduler's EXPLAIN surface. *)

@@ -1,0 +1,83 @@
+open Rdb_data
+open Rdb_engine
+module Prng = Rdb_util.Prng
+
+type spec = {
+  label : string;
+  pred : Predicate.t;
+  env : Predicate.env;
+  order_by : string list;
+  limit : int option;
+  fast_first : bool;
+}
+
+(* Zipf-flavoured draw without the full sampler: low ids are hot. *)
+let skewed rng n = Prng.int rng (1 + Prng.int rng n)
+
+let orders_mix ?(customers = 2000) ?(products = 500) ?(days = 365) ?(price_max = 5000)
+    ~seed ~count () =
+  let rng = Prng.create ~seed in
+  let open Predicate in
+  let template i =
+    match i mod 5 with
+    | 0 ->
+        (* host-variable range sweep: selectivity unknown at compile
+           time — the paper's §4 motivating shape *)
+        let p = Prng.int rng price_max in
+        {
+          label = Printf.sprintf "hostvar-price>=%d" p;
+          pred = param_cmp "PRICE" Ge "P";
+          env = [ ("P", Value.int p) ];
+          order_by = [];
+          limit = None;
+          fast_first = false;
+        }
+    | 1 ->
+        let c = skewed rng customers in
+        {
+          label = Printf.sprintf "point-cust=%d" c;
+          pred = "CUSTOMER" =% Value.int c;
+          env = [];
+          order_by = [];
+          limit = None;
+          fast_first = false;
+        }
+    | 2 ->
+        let c = skewed rng customers and p = skewed rng products in
+        {
+          label = Printf.sprintf "or-cust=%d-prod=%d" c p;
+          pred = Or [ "CUSTOMER" =% Value.int c; "PRODUCT" =% Value.int p ];
+          env = [];
+          order_by = [];
+          limit = None;
+          fast_first = false;
+        }
+    | 3 ->
+        (* multi-index AND: the Jscan shape *)
+        let c = skewed rng customers in
+        let lo = Prng.int rng days in
+        let hi = min (days - 1) (lo + 30 + Prng.int rng 60) in
+        {
+          label = Printf.sprintf "jscan-cust=%d-day[%d,%d]" c lo hi;
+          pred =
+            And
+              [ "CUSTOMER" =% Value.int c; between "DAY" (Value.int lo) (Value.int hi) ];
+          env = [];
+          order_by = [];
+          limit = None;
+          fast_first = false;
+        }
+    | _ ->
+        let p = skewed rng products in
+        {
+          label = Printf.sprintf "limit-prod=%d" p;
+          pred = "PRODUCT" =% Value.int p;
+          env = [];
+          order_by = [];
+          limit = Some (5 + Prng.int rng 20);
+          fast_first = true;
+        }
+  in
+  let specs = Array.init count template in
+  Prng.shuffle rng specs;
+  Array.to_list specs

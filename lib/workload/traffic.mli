@@ -1,0 +1,33 @@
+(** Seeded multi-query traffic for the session scheduler.
+
+    Generates a deterministic arrival sequence of mixed query templates
+    against the ORDERS dataset: host-variable range sweeps, point
+    lookups on the Zipf-skewed columns, covered ORs (union tactic),
+    multi-index ANDs (Jscan), and fast-first LIMIT probes.  Each spec
+    is plain data — a predicate plus bindings — so this library stays
+    below [rdb_core]; the scheduler's callers turn specs into
+    retrieval requests. *)
+
+open Rdb_engine
+
+type spec = {
+  label : string;
+  pred : Predicate.t;
+  env : Predicate.env;
+  order_by : string list;
+  limit : int option;
+  fast_first : bool;  (** hint: run under the fast-first goal *)
+}
+
+val orders_mix :
+  ?customers:int ->
+  ?products:int ->
+  ?days:int ->
+  ?price_max:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  spec list
+(** [count] specs in a seeded shuffled arrival order, cycling through
+    the five templates with seeded parameters.  Bounds default to the
+    {!Datasets.orders} defaults. *)

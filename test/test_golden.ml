@@ -1,0 +1,174 @@
+(* Golden-file snapshots of the three human-facing text surfaces:
+   EXPLAIN plans, fault-degradation traces, and the session scheduler
+   report.  These outputs are deterministic (all randomness is seeded,
+   no wall clock), so any textual drift is a behavior change that must
+   be reviewed: regenerate with
+
+     RDB_GOLDEN_UPDATE=test/golden dune exec test/test_golden.exe
+
+   from the repository root, then inspect the diff. *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_storage
+module R = Rdb_core.Retrieval
+module S = Rdb_core.Session
+module Goal = Rdb_core.Goal
+module Btree = Rdb_btree.Btree
+module Executor = Rdb_sql.Executor
+module Datasets = Rdb_workload.Datasets
+module Traffic = Rdb_workload.Traffic
+
+let check_golden name actual =
+  match Sys.getenv_opt "RDB_GOLDEN_UPDATE" with
+  | Some dir ->
+      Out_channel.with_open_text
+        (Filename.concat dir (name ^ ".txt"))
+        (fun oc -> Out_channel.output_string oc actual)
+  | None ->
+      (* the golden copies live next to the test executable in _build,
+         so the path works under both dune runtest and dune exec *)
+      let path =
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          (Filename.concat "golden" (name ^ ".txt"))
+      in
+      let expected = In_channel.with_open_text path In_channel.input_all in
+      if expected <> actual then begin
+        let exp_lines = String.split_on_char '\n' expected in
+        let act_lines = String.split_on_char '\n' actual in
+        let rec diff i = function
+          | e :: es, a :: aas ->
+              if e <> a then
+                Printf.printf "line %d:\n  expected: %s\n  actual:   %s\n" i e a;
+              diff (i + 1) (es, aas)
+          | e :: es, [] ->
+              Printf.printf "line %d missing (expected: %s)\n" i e;
+              diff (i + 1) (es, [])
+          | [], a :: aas ->
+              Printf.printf "line %d extra (actual: %s)\n" i a;
+              diff (i + 1) ([], aas)
+          | [], [] -> ()
+        in
+        diff 1 (exp_lines, act_lines);
+        Alcotest.failf
+          "golden mismatch for %s (RDB_GOLDEN_UPDATE=test/golden to regenerate)" name
+      end
+
+(* --- EXPLAIN -------------------------------------------------------- *)
+
+let explain_output () =
+  let db = Datasets.fresh_db ~pool_capacity:64 () in
+  let _ = Datasets.orders ~rows:4000 db in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun sql ->
+      Buffer.add_string buf ("> " ^ sql ^ "\n");
+      let result = Executor.execute_sql db sql in
+      List.iter
+        (fun row ->
+          match row with
+          | [ v ] -> Buffer.add_string buf (Value.to_string v ^ "\n")
+          | _ -> assert false)
+        result.Executor.rows;
+      Buffer.add_char buf '\n';
+      Buffer_pool.flush (Database.pool db))
+    [
+      "EXPLAIN SELECT * FROM ORDERS WHERE CUSTOMER = 17";
+      "EXPLAIN SELECT * FROM ORDERS WHERE CUSTOMER = 17 AND DAY >= 40 AND DAY <= 80";
+      "EXPLAIN SELECT * FROM ORDERS WHERE CUSTOMER = 3 OR PRODUCT = 9";
+      "EXPLAIN SELECT * FROM ORDERS WHERE PRICE >= 4990 ORDER BY DAY";
+    ];
+  Buffer.contents buf
+
+(* --- fault / degradation trace -------------------------------------- *)
+
+let fault_trace_output () =
+  let pool = Buffer_pool.create ~capacity:256 in
+  let schema =
+    Schema.make
+      [
+        Schema.col "ID" Value.T_int;
+        Schema.col "X" Value.T_int;
+        Schema.col "Y" Value.T_int;
+      ]
+  in
+  let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
+  let rng = Rdb_util.Prng.create ~seed:41 in
+  for i = 0 to 1999 do
+    ignore
+      (Table.insert table
+         [|
+           Value.int i;
+           Value.int (Rdb_util.Prng.int rng 100);
+           Value.int (Rdb_util.Prng.int rng 1000);
+         |])
+  done;
+  ignore (Table.create_index table ~name:"X_IDX" ~columns:[ "X" ] ());
+  ignore (Table.create_index table ~name:"Y_IDX" ~columns:[ "Y" ] ());
+  let y_file = Btree.file_id (Option.get (Table.find_index table "Y_IDX")).Table.tree in
+  let buf = Buffer.create 1024 in
+  let scenario title plan =
+    Buffer.add_string buf ("== " ^ title ^ " ==\n");
+    Buffer_pool.flush pool;
+    Buffer_pool.set_injector pool (Some (Fault.create plan));
+    let open Predicate in
+    let _, summary =
+      R.run table
+        (R.request ~explicit_goal:Goal.Total_time
+           (And [ "X" <% Value.int 30; "Y" <% Value.int 300 ]))
+    in
+    Buffer_pool.set_injector pool None;
+    List.iter
+      (fun e -> Buffer.add_string buf ("  " ^ Rdb_exec.Trace.event_to_string e ^ "\n"))
+      summary.R.trace;
+    Buffer.add_string buf
+      (Printf.sprintf "  tactic %s, status %s, %d rows\n\n"
+         (R.tactic_to_string summary.R.tactic)
+         (R.status_to_string summary.R.status)
+         summary.R.rows_delivered)
+  in
+  scenario "no faults" Fault.null_plan;
+  scenario "transient index faults (rate 0.05)"
+    (Fault.plan ~transient_read_rate:0.05
+       ~transient_classes:[ Fault.Index ] ~seed:7 ());
+  scenario "persistent fault on Y_IDX (quarantine)"
+    (Fault.plan ~persistent_files:[ y_file ] ~seed:8 ());
+  Buffer.contents buf
+
+(* --- scheduler report ------------------------------------------------ *)
+
+let scheduler_report_output () =
+  let db = Datasets.fresh_db ~pool_capacity:48 () in
+  let table = Datasets.orders ~rows:3000 db in
+  Buffer_pool.flush (Database.pool db);
+  let specs = Traffic.orders_mix ~seed:5 ~count:6 () in
+  let sched =
+    S.create
+      ~config:{ S.default_config with S.max_inflight = 3; S.quantum = 4.0 }
+      db
+  in
+  List.iter
+    (fun (sp : Traffic.spec) ->
+      ignore
+        (S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+           (R.request ~env:sp.Traffic.env ~order_by:sp.Traffic.order_by
+              ?explicit_goal:
+                (if sp.Traffic.fast_first then Some Goal.Fast_first else None)
+              sp.Traffic.pred)))
+    specs;
+  S.report_to_string (S.run sched)
+
+let () =
+  Alcotest.run "rdb_golden"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "explain output" `Quick (fun () ->
+              check_golden "explain" (explain_output ()));
+          Alcotest.test_case "fault trace output" `Quick (fun () ->
+              check_golden "fault_trace" (fault_trace_output ()));
+          Alcotest.test_case "scheduler report" `Quick (fun () ->
+              check_golden "scheduler_report" (scheduler_report_output ()));
+        ] );
+    ]

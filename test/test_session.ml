@@ -1,0 +1,196 @@
+(* Properties of the multi-query session scheduler (Session):
+   determinism (equal seeds and configs give byte-identical reports),
+   result invariance under quantum size / admission order / in-flight
+   degree, admission-control and starvation bounds, and the submit
+   lifecycle. *)
+
+open Rdb_data
+open Rdb_engine
+module R = Rdb_core.Retrieval
+module S = Rdb_core.Session
+module Goal = Rdb_core.Goal
+module Datasets = Rdb_workload.Datasets
+module Traffic = Rdb_workload.Traffic
+module Prng = Rdb_util.Prng
+
+let check = Alcotest.(check bool)
+
+(* One shared read-only fixture; every schedule flushes the pool first,
+   so successive runs are independent and reproducible. *)
+let fixture =
+  lazy
+    (let db = Datasets.fresh_db ~pool_capacity:64 () in
+     let table = Datasets.orders ~rows:6000 db in
+     (db, table))
+
+let request_of (sp : Traffic.spec) =
+  R.request ~env:sp.Traffic.env ~order_by:sp.Traffic.order_by
+    ?explicit_goal:(if sp.Traffic.fast_first then Some Goal.Fast_first else None)
+    sp.Traffic.pred
+
+let row_key row = Value.to_string (Row.get row 0)
+let multiset rows = List.sort compare (List.map row_key rows)
+
+let oracle table (sp : Traffic.spec) =
+  let pred = Predicate.simplify (Predicate.bind sp.Traffic.pred sp.Traffic.env) in
+  let m = Rdb_storage.Cost.create () in
+  let out = ref [] in
+  Rdb_storage.Heap_file.iter (Table.heap table) m (fun _ row ->
+      if Predicate.eval pred (Table.schema table) row then out := row :: !out);
+  !out
+
+let run_schedule ?(record_events = false) db table specs ~max_inflight ~quantum =
+  Rdb_storage.Buffer_pool.flush (Database.pool db);
+  let cfg = { S.default_config with S.max_inflight; quantum; record_events } in
+  let sched = S.create ~config:cfg db in
+  let ids =
+    List.map
+      (fun sp ->
+        ( sp,
+          S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+            (request_of sp) ))
+      specs
+  in
+  (* sequence explicitly: tuple components evaluate right-to-left, and
+     rows_of must run after the scheduler *)
+  let report = S.run sched in
+  (report, List.map (fun (sp, id) -> (sp, S.rows_of sched id)) ids)
+
+(* LIMIT without ORDER BY may deliver any qualifying subset of the
+   right size; everything else must match the oracle multiset. *)
+let rows_ok table (sp : Traffic.spec) rows =
+  let full = multiset (oracle table sp) in
+  match sp.Traffic.limit with
+  | None -> multiset rows = full
+  | Some n ->
+      List.length rows = min n (List.length full)
+      && List.for_all (fun r -> List.mem (row_key r) full) rows
+
+let quanta = [| 2.0; 25.0; 80.0; 500.0 |]
+
+(* --- determinism ---------------------------------------------------- *)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"same seed and config give byte-identical reports"
+    ~count:12
+    QCheck.(triple (int_bound 100_000) (int_bound 3) (int_range 1 6))
+    (fun (seed, qi, max_inflight) ->
+      let max_inflight = max 1 max_inflight in
+      let db, table = Lazy.force fixture in
+      let specs = Traffic.orders_mix ~seed ~count:6 () in
+      let quantum = quanta.(qi) in
+      let run () =
+        run_schedule ~record_events:true db table specs ~max_inflight ~quantum
+      in
+      let rep_a, rows_a = run () in
+      let rep_b, rows_b = run () in
+      S.report_to_string rep_a = S.report_to_string rep_b
+      && List.for_all2
+           (fun (_, ra) (_, rb) -> multiset ra = multiset rb)
+           rows_a rows_b)
+
+(* --- result invariance ---------------------------------------------- *)
+
+let prop_rows_invariant =
+  QCheck.Test.make
+    ~name:"row sets invariant under quantum, in-flight degree, admission order"
+    ~count:16
+    QCheck.(triple (int_bound 100_000) (int_bound 3) (int_range 1 8))
+    (fun (seed, qi, max_inflight) ->
+      (* qcheck shrinking can step outside int_range bounds *)
+      let max_inflight = max 1 max_inflight in
+      let db, table = Lazy.force fixture in
+      let specs = Traffic.orders_mix ~seed ~count:6 () in
+      (* shuffled submission order: results must not depend on it *)
+      let arr = Array.of_list specs in
+      Prng.shuffle (Prng.create ~seed:(seed + 1)) arr;
+      let shuffled = Array.to_list arr in
+      let _, rows = run_schedule db table shuffled ~max_inflight ~quantum:quanta.(qi) in
+      List.for_all
+        (fun ((sp : Traffic.spec), rows) ->
+          rows_ok table sp rows
+          ||
+          (Printf.printf "spec %s: got %d rows, oracle %d\n" sp.Traffic.label
+             (List.length rows)
+             (List.length (oracle table sp));
+           false))
+        rows)
+
+(* --- bounds --------------------------------------------------------- *)
+
+let test_bounds () =
+  let db, table = Lazy.force fixture in
+  let specs = Traffic.orders_mix ~seed:19 ~count:8 () in
+  let report, _ = run_schedule db table specs ~max_inflight:3 ~quantum:30.0 in
+  check "admission control holds" true (report.S.pool.S.p_max_inflight_seen <= 3);
+  check "every session completed" true
+    (List.for_all
+       (fun s -> s.S.s_summary.R.status = R.Completed)
+       report.S.sessions);
+  (* all in flight at once: the starvation override bounds the gap *)
+  let all_in, _ =
+    run_schedule db table specs ~max_inflight:(List.length specs) ~quantum:10.0
+  in
+  List.iter
+    (fun s ->
+      check
+        (Printf.sprintf "max grant gap bounded for %s (%d)" s.S.s_label s.S.s_max_gap)
+        true
+        (s.S.s_max_gap <= S.default_config.S.starvation_bound))
+    all_in.S.sessions
+
+let test_lifecycle () =
+  let db, table = Lazy.force fixture in
+  let sched = S.create db in
+  let sp = List.hd (Traffic.orders_mix ~seed:3 ~count:1 ()) in
+  let id = S.submit sched ~label:sp.Traffic.label table (request_of sp) in
+  let _ = S.run sched in
+  check "rows retrievable after run" true (S.rows_of sched id <> []);
+  Alcotest.check_raises "submit after run rejected"
+    (Invalid_argument "Session.submit: scheduler already ran") (fun () ->
+      ignore (S.submit sched table (request_of sp)));
+  Alcotest.check_raises "second run rejected"
+    (Invalid_argument "Session.run: scheduler already ran") (fun () ->
+      ignore (S.run sched));
+  Alcotest.check_raises "bad config rejected"
+    (Invalid_argument "Session.create: max_inflight < 1") (fun () ->
+      ignore (S.create ~config:{ S.default_config with S.max_inflight = 0 } db))
+
+let test_quota_admission_order () =
+  let db, table = Lazy.force fixture in
+  Rdb_storage.Buffer_pool.flush (Database.pool db);
+  let specs = Traffic.orders_mix ~seed:23 ~count:5 () in
+  let sched =
+    S.create ~config:{ S.default_config with S.max_inflight = 1; S.record_events = true } db
+  in
+  let quota_cfg = { R.default_config with R.cost_quota = Some 1.0e9 } in
+  let ids =
+    List.mapi
+      (fun i sp ->
+        let config = if i = List.length specs - 1 then Some quota_cfg else None in
+        S.submit sched ~label:sp.Traffic.label ?config ?limit:sp.Traffic.limit table
+          (request_of sp))
+      specs
+  in
+  let report = S.run sched in
+  let first_admitted =
+    List.find_map
+      (function S.Admitted { id; _ } -> Some id | _ -> None)
+      report.S.events
+  in
+  check "quota-declaring query admitted first" true
+    (first_admitted = Some (List.nth ids (List.length ids - 1)))
+
+let () =
+  Alcotest.run "rdb_session"
+    [
+      ( "scheduler",
+        [
+          QCheck_alcotest.to_alcotest prop_deterministic;
+          QCheck_alcotest.to_alcotest prop_rows_invariant;
+          Alcotest.test_case "admission and starvation bounds" `Quick test_bounds;
+          Alcotest.test_case "lifecycle guards" `Quick test_lifecycle;
+          Alcotest.test_case "quota-aware admission order" `Quick
+            test_quota_admission_order;
+        ] );
+    ]
