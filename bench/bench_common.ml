@@ -20,3 +20,29 @@ let count_events trace pred = List.length (List.filter pred trace)
 
 let discards trace =
   count_events trace (function Rdb_exec.Trace.Scan_discarded _ -> true | _ -> false)
+
+(* --- machine-readable metrics ----------------------------------------
+   Experiments call [metric] for every number the perf trajectory
+   should track; the harness's --json mode collects them per
+   experiment into BENCH_<id>.json, and the CI regression gate
+   (diff_baseline.exe) applies the 10% rule along [direction]. *)
+
+type direction =
+  | Lower_better  (** a cost: regression when it grows past the gate *)
+  | Higher_better  (** e.g. a hit rate: regression when it shrinks *)
+  | Info  (** tracked but never gated *)
+
+let direction_to_string = function
+  | Lower_better -> "lower_better"
+  | Higher_better -> "higher_better"
+  | Info -> "info"
+
+let recorded : (string * float * direction) list ref = ref []
+
+let reset_metrics () = recorded := []
+
+let metric ?(dir = Info) name value =
+  recorded := (name, value, dir) :: !recorded;
+  Printf.printf "metric %s = %.6g\n" name value
+
+let metrics () = List.rev !recorded

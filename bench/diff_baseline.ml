@@ -1,0 +1,162 @@
+(* CI perf-regression gate over BENCH_<id>.json files.
+
+     diff_baseline --baseline bench/baseline --current . [--tolerance 0.10]
+
+   For every BENCH_*.json in the baseline directory:
+   - the current run must have produced the same file;
+   - every current checkpoint must pass, and no baseline checkpoint
+     may have disappeared (a deleted checkpoint would let a regression
+     pass vacuously);
+   - every gated baseline metric must exist in the current run and be
+     within the tolerance along its direction: a [lower_better] metric
+     fails when current > baseline * (1 + tol), a [higher_better] when
+     current < baseline * (1 - tol); [info] metrics are reported but
+     never gated.
+
+   Exit code 0 = no regression, 1 = regression, 2 = bad input. *)
+
+module Json = Rdb_util.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all |> Json.of_string with
+  | j -> j
+  | exception Sys_error m -> die "cannot read %s: %s" path m
+  | exception Json.Parse_error m -> die "%s: invalid JSON: %s" path m
+
+let str_field path j key =
+  match Option.bind (Json.member key j) Json.to_str with
+  | Some s -> s
+  | None -> die "%s: missing string field %S" path key
+
+let num_field path j key =
+  match Option.bind (Json.member key j) Json.to_num with
+  | Some n -> n
+  | None -> die "%s: missing numeric field %S" path key
+
+let list_field path j key =
+  match Option.bind (Json.member key j) Json.to_list with
+  | Some l -> l
+  | None -> die "%s: missing array field %S" path key
+
+type metric = { value : float; direction : string }
+
+let parse_doc path j =
+  let checkpoints =
+    List.map
+      (fun c ->
+        ( str_field path c "name",
+          match Option.bind (Json.member "pass" c) Json.to_bool with
+          | Some b -> b
+          | None -> die "%s: checkpoint without boolean \"pass\"" path ))
+      (list_field path j "checkpoints")
+  in
+  let metrics =
+    List.map
+      (fun m ->
+        ( str_field path m "name",
+          { value = num_field path m "value"; direction = str_field path m "direction" } ))
+      (list_field path j "metrics")
+  in
+  (str_field path j "experiment", checkpoints, metrics)
+
+let eps = 1e-9
+
+let check_experiment ~tolerance ~current_dir base_path =
+  let file = Filename.basename base_path in
+  let cur_path = Filename.concat current_dir file in
+  if not (Sys.file_exists cur_path) then begin
+    Printf.printf "FAIL %s: current run produced no %s\n" file cur_path;
+    1
+  end
+  else begin
+    let _, base_cps, base_ms = parse_doc base_path (load base_path) in
+    let exp_name, cur_cps, cur_ms = parse_doc cur_path (load cur_path) in
+    let failures = ref 0 in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s ->
+          incr failures;
+          Printf.printf "FAIL %s: %s\n" exp_name s)
+        fmt
+    in
+    List.iter
+      (fun (name, pass) -> if not pass then fail "checkpoint %S failed" name)
+      cur_cps;
+    if List.length cur_cps < List.length base_cps then
+      fail "checkpoint count shrank (%d -> %d): a gate disappeared"
+        (List.length base_cps) (List.length cur_cps);
+    List.iter
+      (fun (name, (base : metric)) ->
+        match List.assoc_opt name cur_ms with
+        | None ->
+            if base.direction <> "info" then fail "gated metric %S disappeared" name
+        | Some cur -> (
+            match base.direction with
+            | "lower_better" ->
+                if cur.value > (base.value *. (1.0 +. tolerance)) +. eps then
+                  fail "%s regressed: %.6g -> %.6g (> +%.0f%%)" name base.value
+                    cur.value (100.0 *. tolerance)
+            | "higher_better" ->
+                if cur.value < (base.value *. (1.0 -. tolerance)) -. eps then
+                  fail "%s regressed: %.6g -> %.6g (< -%.0f%%)" name base.value
+                    cur.value (100.0 *. tolerance)
+            | "info" -> ()
+            | d -> fail "metric %S has unknown direction %S" name d))
+      base_ms;
+    if !failures = 0 then
+      Printf.printf "ok   %s: %d checkpoints pass, %d metrics within %.0f%%\n" exp_name
+        (List.length cur_cps) (List.length base_ms) (100.0 *. tolerance);
+    !failures
+  end
+
+let main baseline_dir current_dir tolerance =
+  if not (Sys.file_exists baseline_dir && Sys.is_directory baseline_dir) then
+    die "baseline directory %s does not exist" baseline_dir;
+  let baselines =
+    Sys.readdir baseline_dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.map (Filename.concat baseline_dir)
+  in
+  if baselines = [] then die "no BENCH_*.json baselines in %s" baseline_dir;
+  let failures =
+    List.fold_left
+      (fun acc p -> acc + check_experiment ~tolerance ~current_dir p)
+      0 baselines
+  in
+  if failures > 0 then begin
+    Printf.eprintf "%d perf-gate failure(s)\n" failures;
+    exit 1
+  end
+
+open Cmdliner
+
+let baseline =
+  Arg.(
+    value
+    & opt string "bench/baseline"
+    & info [ "baseline" ] ~docv:"DIR" ~doc:"Directory of committed baseline JSON files.")
+
+let current =
+  Arg.(
+    value & opt string "."
+    & info [ "current" ] ~docv:"DIR" ~doc:"Directory of freshly generated JSON files.")
+
+let tolerance =
+  Arg.(
+    value & opt float 0.10
+    & info [ "tolerance" ] ~docv:"FRAC"
+        ~doc:"Allowed relative drift along each metric's direction (default 0.10).")
+
+let cmd =
+  let doc = "diff BENCH_*.json cost metrics against a committed baseline" in
+  Cmd.v
+    (Cmd.info "diff_baseline" ~doc)
+    Term.(const main $ baseline $ current $ tolerance)
+
+let () = exit (Cmd.eval cmd)

@@ -76,4 +76,9 @@ let run () =
   Printf.printf
     "simultaneous proportional-speed run is still better (%.1f <= %.1f): %b\n" sim
     knee_policy
-    (sim <= knee_policy *. 1.05)
+    (sim <= knee_policy *. 1.05);
+  Bench_common.metric "m1_traditional" m1;
+  Bench_common.metric ~dir:Bench_common.Lower_better "knee_switch_cost" knee_policy;
+  Bench_common.metric ~dir:Bench_common.Lower_better "simultaneous_cost" sim;
+  Bench_common.metric ~dir:Bench_common.Higher_better "competition_speedup"
+    (m1 /. knee_policy)

@@ -178,6 +178,17 @@ let run () =
       ];
     ];
   Printf.printf "concurrency overhead factor: %.2fx\n" overhead;
+  Bench_common.metric ~dir:Bench_common.Lower_better "serial_total_cost"
+    serial_report.S.pool.S.p_total_cost;
+  Bench_common.metric ~dir:Bench_common.Lower_better "concurrent_total_cost"
+    conc_report.S.pool.S.p_total_cost;
+  Bench_common.metric ~dir:Bench_common.Lower_better "concurrency_overhead_factor"
+    overhead;
+  Bench_common.metric ~dir:Bench_common.Higher_better "concurrent_hit_rate"
+    conc_report.S.pool.S.p_hit_rate;
+  Bench_common.metric "concurrent_grants"
+    (float_of_int conc_report.S.pool.S.p_grants);
+  Bench_common.metric "max_gap_at_full_admission" (float_of_int max_gap_all);
 
   (* --- checkpoints -------------------------------------------------- *)
   Bench_common.subsection "paper checkpoints";

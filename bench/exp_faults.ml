@@ -200,4 +200,14 @@ let run () =
     && Fault.injected_corrupt (Option.get inj_corrupt) > 0);
   Printf.printf "dead heap: structured abort, never an exception: %b\n"
     (rows_dead_heap = []
-    && match s_dead_heap.R.status with R.Aborted _ -> true | _ -> false)
+    && match s_dead_heap.R.status with R.Aborted _ -> true | _ -> false);
+  Bench_common.metric ~dir:Bench_common.Lower_better "cost_no_injector"
+    s_off.R.total_cost;
+  Bench_common.metric ~dir:Bench_common.Lower_better "cost_zero_fault_rate"
+    s_zero.R.total_cost;
+  Bench_common.metric ~dir:Bench_common.Lower_better "cost_worst_fault_rate"
+    s_worst.R.total_cost;
+  Bench_common.metric "fault_overhead_factor"
+    (s_worst.R.total_cost /. s_zero.R.total_cost);
+  Bench_common.metric ~dir:Bench_common.Lower_better "cost_dead_index"
+    s_dead_idx.R.total_cost

@@ -36,12 +36,64 @@ let list_experiments () =
   print_endline "available experiments:";
   List.iter (fun (n, d, _) -> Printf.printf "  %-12s %s\n" n d) experiments
 
+module Json = Rdb_util.Json
+
+(* Checkpoint lines are the "NAME: true|false" booleans every
+   experiment prints in its "paper checkpoints" section. *)
+let parse_checkpoints out =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      let ends suffix =
+        let n = String.length suffix in
+        String.length line > n && String.sub line (String.length line - n) n = suffix
+      in
+      if ends ": true" then Some (String.sub line 0 (String.length line - 6), true)
+      else if ends ": false" then Some (String.sub line 0 (String.length line - 7), false)
+      else None)
+    (String.split_on_char '\n' out)
+
+(* BENCH_<id>.json: the experiment's checkpoint booleans (mirroring the
+   text output exactly) plus every [Bench_common.metric] it recorded,
+   with the gating direction — the input of bench/diff_baseline.exe. *)
+let write_json dir name out =
+  let checkpoints = parse_checkpoints out in
+  let j =
+    Json.Obj
+      [
+        ("experiment", Json.Str name);
+        ( "checkpoints",
+          Json.Arr
+            (List.map
+               (fun (n, pass) ->
+                 Json.Obj [ ("name", Json.Str n); ("pass", Json.Bool pass) ])
+               checkpoints) );
+        ( "metrics",
+          Json.Arr
+            (List.map
+               (fun (n, v, d) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str n);
+                     ("value", Json.Num v);
+                     ("direction", Json.Str (Bench_common.direction_to_string d));
+                   ])
+               (Bench_common.metrics ())) );
+      ]
+  in
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string ~pretty:true j);
+      Out_channel.output_char oc '\n');
+  Printf.printf "wrote %s\n" path
+
 (* Run one experiment with stdout captured to a temp file, then replay
    it and scan the "paper checkpoints" booleans: any line ending in
    ": false" is a failed checkpoint.  This makes the harness its own
    gate — CI (and any scripted run) fails on exit code instead of
    grepping, so a checkpoint regression can never pass vacuously. *)
-let run_gated (name, _, run) =
+let run_gated ?json_dir (name, _, run) =
+  Bench_common.reset_metrics ();
   flush stdout;
   let saved = Unix.dup Unix.stdout in
   let tmp = Filename.temp_file "rdb-bench" ".out" in
@@ -64,6 +116,7 @@ let run_gated (name, _, run) =
   let out = In_channel.with_open_text tmp In_channel.input_all in
   Sys.remove tmp;
   print_string out;
+  (match json_dir with None -> () | Some dir -> write_json dir name out);
   let failed =
     List.filter
       (fun line ->
@@ -75,9 +128,10 @@ let run_gated (name, _, run) =
   List.iter (Printf.eprintf "CHECKPOINT FAILED [%s] %s\n" name) failed;
   List.length failed
 
-let main selected list_only =
+let main selected list_only json json_dir =
   if list_only then list_experiments ()
   else begin
+    let json_dir = if json then Some json_dir else None in
     let to_run =
       match selected with
       | [] -> experiments
@@ -91,7 +145,7 @@ let main selected list_only =
                   exit 2)
             names
     in
-    let failures = List.fold_left (fun acc e -> acc + run_gated e) 0 to_run in
+    let failures = List.fold_left (fun acc e -> acc + run_gated ?json_dir e) 0 to_run in
     print_newline ();
     if failures > 0 then begin
       Printf.eprintf "%d paper checkpoint(s) failed\n" failures;
@@ -108,8 +162,22 @@ let selected =
 
 let list_only = Arg.(value & flag & info [ "l"; "list" ] ~doc:"List experiments and exit.")
 
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Also write BENCH_<id>.json per experiment (checkpoint booleans + recorded \
+           cost metrics) for the CI perf-regression gate.")
+
+let json_dir_opt =
+  Arg.(
+    value & opt string "."
+    & info [ "json-dir" ] ~docv:"DIR" ~doc:"Directory for BENCH_<id>.json files.")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
-  Cmd.v (Cmd.info "rdb-bench" ~doc) Term.(const main $ selected $ list_only)
+  Cmd.v (Cmd.info "rdb-bench" ~doc)
+    Term.(const main $ selected $ list_only $ json_flag $ json_dir_opt)
 
 let () = exit (Cmd.eval cmd)

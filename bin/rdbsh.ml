@@ -24,6 +24,13 @@ open Rdb_engine
 
 let params : (string * Value.t) list ref = ref []
 
+(* Shell-lifetime metrics registry: attached to the buffer pool and
+   threaded into every retrieval; dumped by .stats. *)
+let registry = Rdb_util.Metrics.create ()
+
+let retrieval_config =
+  { Rdb_core.Retrieval.default_config with Rdb_core.Retrieval.metrics = Some registry }
+
 let print_table columns rows =
   let header = columns in
   let body = List.map (List.map Value.to_string) rows in
@@ -50,7 +57,15 @@ let run_concurrent db inflight count =
   let module S = Rdb_core.Session in
   let module R = Rdb_core.Retrieval in
   let sched =
-    S.create ~config:{ S.default_config with S.max_inflight = inflight } db
+    S.create
+      ~config:
+        {
+          S.default_config with
+          S.max_inflight = inflight;
+          S.retrieval = retrieval_config;
+          S.metrics = Some registry;
+        }
+      db
   in
   List.iter
     (fun (sp : Rdb_workload.Traffic.spec) ->
@@ -93,7 +108,7 @@ let parse_value s =
 
 let run_sql db sql =
   try
-    let r = Rdb_sql.Executor.execute_sql ~env:!params db sql in
+    let r = Rdb_sql.Executor.execute_sql ~env:!params ~config:retrieval_config db sql in
     (match r.Rdb_sql.Executor.message with
     | Some m -> print_endline m
     | None ->
@@ -154,7 +169,14 @@ let meta db line =
         (Rdb_storage.Buffer_pool.capacity pool);
       Printf.printf "lifetime charges: %s\n"
         (Format.asprintf "%a" Rdb_storage.Cost.pp
-           (Rdb_storage.Buffer_pool.global_meter pool))
+           (Rdb_storage.Buffer_pool.global_meter pool));
+      if Rdb_util.Metrics.is_empty registry then
+        print_endline "metrics: (none recorded yet)"
+      else begin
+        print_endline "metrics:";
+        String.split_on_char '\n' (Rdb_util.Metrics.to_string registry)
+        |> List.iter (fun l -> if l <> "" then Printf.printf "  %s\n" l)
+      end
   | ".concurrent" :: rest ->
       let int_arg s =
         match int_of_string_opt s with
@@ -273,6 +295,7 @@ let repl db =
 
 let main demo pool concurrent commands script =
   let db = Database.create ~pool_capacity:pool () in
+  Rdb_storage.Buffer_pool.set_metrics (Database.pool db) (Some registry);
   if demo then load_demo db;
   if concurrent then protect (fun () -> run_concurrent db 4 12);
   match (commands, script) with

@@ -15,6 +15,9 @@ type config = {
           is escalated to the non-retriable policy *)
   cost_quota : float option;
       (** per-query cost ceiling, checked at quantum boundaries *)
+  metrics : Rdb_util.Metrics.t option;
+      (** observation-only registry; per-retrieval aggregates are
+          recorded at [close] *)
 }
 
 let default_config =
@@ -26,6 +29,7 @@ let default_config =
     default_goal = Goal.Total_time;
     retry_limit = 8;
     cost_quota = None;
+    metrics = None;
   }
 
 type request = {
@@ -562,6 +566,7 @@ let needed_columns table (req : request) restriction =
 
 let open_ ?(config = default_config) table (req : request) =
   let trace = Trace.create () in
+  Trace.emit trace (Trace.Span_begin { span = "plan" });
   let fgr_meter = Cost.create () in
   let bgr_meter = Cost.create () in
   let est_meter = Cost.create () in
@@ -618,6 +623,8 @@ let open_ ?(config = default_config) table (req : request) =
       | planned -> planned
     end
   in
+  Trace.emit trace (Trace.Span_end { span = "plan"; cost = Cost.total est_meter; rows = 0 });
+  Trace.emit trace (Trace.Span_begin { span = "execute" });
   let needs_sort = req.order_by <> [] && not classified_order in
   {
     table;
@@ -781,11 +788,90 @@ let spent = total_cost
 let rows_delivered c = c.delivered
 let tactic c = c.tactic
 
+(* Bucket ladder for the estimate-vs-actual error factor (always >= 1;
+   a factor of 1 is a perfect estimate). *)
+let error_buckets = [| 1.0; 1.25; 1.5; 2.0; 4.0; 8.0; 16.0 |]
+
+(* Per-index estimate-vs-actual error factors, from the trace: pair
+   each [Estimated] with the [Scan_completed] of the same index and
+   report max(est/actual, actual/est). *)
+let estimate_errors events =
+  let actuals = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Trace.Scan_completed { index; scanned; _ } ->
+          Hashtbl.replace actuals index scanned
+      | _ -> ())
+    events;
+  List.filter_map
+    (function
+      | Trace.Estimated { index; estimate; _ } -> (
+          match Hashtbl.find_opt actuals index with
+          | Some scanned ->
+              let actual = Float.max 1.0 (float_of_int scanned) in
+              let est = Float.max 1.0 estimate in
+              Some (Float.max (est /. actual) (actual /. est))
+          | None -> None)
+      | _ -> None)
+    events
+
+let is_switch_point = function
+  | Trace.Foreground_stopped _ | Trace.Background_stopped _ | Trace.Use_tscan _
+  | Trace.Simultaneous_winner _ | Trace.Scan_discarded _ ->
+      true
+  | _ -> false
+
+let is_degradation = function
+  | Trace.Index_quarantined _ | Trace.Fallback_tscan _ | Trace.Query_aborted _
+  | Trace.Quota_exceeded _ ->
+      true
+  | _ -> false
+
+let record_metrics c events =
+  match c.cfg.metrics with
+  | None -> ()
+  | Some m ->
+      let module M = Rdb_util.Metrics in
+      let count name = M.incr (M.counter m name) in
+      let add name n = if n > 0 then M.add (M.counter m name) n in
+      let observe name v = M.observe (M.histogram m name) v in
+      count "retrieval.count";
+      count (M.labeled "retrieval.tactic" (tactic_to_string c.tactic));
+      observe "retrieval.cost.total" (total_cost c);
+      observe "retrieval.cost.foreground" (Cost.total c.fgr_meter);
+      observe "retrieval.cost.background" (Cost.total c.bgr_meter);
+      observe "retrieval.cost.estimation" (Cost.total c.est_meter);
+      observe "retrieval.rows" (float_of_int c.delivered);
+      add "retrieval.switch_points" (List.length (List.filter is_switch_point events));
+      add "retrieval.faults"
+        (List.length
+           (List.filter (function Trace.Fault_detected _ -> true | _ -> false) events));
+      add "retrieval.degradations" (List.length (List.filter is_degradation events));
+      List.iter
+        (fun e -> M.observe (M.histogram ~buckets:error_buckets m "retrieval.estimate_error") e)
+        (estimate_errors events)
+
 let close c =
   match c.summary with
   | Some s -> s
   | None ->
       c.closed <- true;
+      (match c.tactic with
+      | Background_only | Fast_first_tactic | Sorted_tactic | Index_only_tactic
+      | Union_tactic ->
+          Trace.emit c.trace
+            (Trace.Span_end
+               { span = "foreground"; cost = Cost.total c.fgr_meter; rows = c.delivered });
+          Trace.emit c.trace
+            (Trace.Span_end { span = "background"; cost = Cost.total c.bgr_meter; rows = 0 })
+      | _ -> ());
+      Trace.emit c.trace
+        (Trace.Span_end
+           {
+             span = "execute";
+             cost = Cost.total c.fgr_meter +. Cost.total c.bgr_meter;
+             rows = c.delivered;
+           });
       Trace.emit c.trace
         (Trace.Retrieval_done { rows = c.delivered; cost = total_cost c });
       let status =
@@ -794,6 +880,8 @@ let close c =
         | None, Some (spent, quota) -> Cancelled_quota { spent; quota }
         | None, None -> Completed
       in
+      let events = Trace.events c.trace in
+      record_metrics c events;
       let s =
         {
           rows_delivered = c.delivered;
@@ -803,7 +891,7 @@ let close c =
           goal = c.goal;
           goal_provenance = c.goal_provenance;
           status;
-          trace = Trace.events c.trace;
+          trace = events;
         }
       in
       c.summary <- Some s;

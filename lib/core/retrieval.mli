@@ -39,6 +39,11 @@ type config = {
   cost_quota : float option;
       (** per-query cost ceiling, checked at quantum boundaries; [None]
           disables the governor *)
+  metrics : Rdb_util.Metrics.t option;
+      (** observation-only registry: tactic choices, per-arm costs,
+          switch points, and estimate-vs-actual error are recorded at
+          {!close}; [None] — the default — records nothing and changes
+          nothing *)
 }
 
 val default_config : config

@@ -10,6 +10,7 @@ type config = {
   starvation_bound : int;
   retrieval : Retrieval.config;
   record_events : bool;
+  metrics : Rdb_util.Metrics.t option;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     starvation_bound = 16;
     retrieval = Retrieval.default_config;
     record_events = true;
+    metrics = None;
   }
 
 type id = int
@@ -209,6 +211,15 @@ let run t =
           | qs -> by_key (fun q -> (-gap q, q.q_id)) qs)
   in
   let grant q =
+    (match t.cfg.metrics with
+    | None -> ()
+    | Some m ->
+        let module M = Rdb_util.Metrics in
+        (* queue depth at grant time: runnable sessions plus those
+           still waiting for admission *)
+        M.observe
+          (M.histogram m "session.queue_depth")
+          (float_of_int (List.length !active + List.length !pending)));
     let cursor = Option.get q.q_cursor in
     let before = Retrieval.spent cursor in
     let gap = !tick - q.q_last_grant in
@@ -271,6 +282,28 @@ let run t =
       all
   in
   let total_cost = List.fold_left (fun acc s -> acc +. s.s_charged) 0.0 sessions in
+  (match t.cfg.metrics with
+  | None -> ()
+  | Some m ->
+      let module M = Rdb_util.Metrics in
+      M.add (M.counter m "session.grants") !tick;
+      M.add (M.counter m "session.queries") (List.length sessions);
+      let max_gap = List.fold_left (fun acc s -> max acc s.s_max_gap) 0 sessions in
+      M.set (M.gauge m "session.max_gap") (float_of_int max_gap);
+      (* paper-facing fairness guarantee: how much of the bounded-wait
+         budget the worst-treated session actually used up *)
+      M.set
+        (M.gauge m "session.starvation_margin")
+        (float_of_int (t.cfg.starvation_bound - max_gap));
+      M.set (M.gauge m "session.hit_rate")
+        (if physical + logical = 0 then 1.0
+         else float_of_int logical /. float_of_int (physical + logical));
+      List.iter
+        (fun s ->
+          M.observe (M.histogram m "session.quanta") (float_of_int s.s_quanta);
+          M.observe (M.histogram m "session.queue_wait") (float_of_int s.s_queue_wait);
+          M.observe (M.histogram m "session.charged") s.s_charged)
+        sessions);
   {
     sessions;
     pool =

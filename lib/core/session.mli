@@ -49,6 +49,10 @@ type config = {
           is scheduled next unconditionally *)
   retrieval : Retrieval.config;  (** default per-query config *)
   record_events : bool;  (** keep the scheduler event log (golden tests) *)
+  metrics : Rdb_util.Metrics.t option;
+      (** observation-only registry: quanta granted, queue depth at
+          each grant, per-session charged cost, and the starvation
+          margin are recorded during {!run}; [None] records nothing *)
 }
 
 val default_config : config

@@ -22,10 +22,12 @@ type t = {
 }
 
 let create ?page_bytes pool ~name schema =
+  let heap = Heap_file.create ?page_bytes pool in
+  Buffer_pool.name_file pool ~file:(Heap_file.file_id heap) ("table:" ^ name);
   {
     name;
     schema;
-    heap = Heap_file.create ?page_bytes pool;
+    heap;
     pool;
     indexes = [];
     build = Cost.create ();
@@ -99,6 +101,7 @@ let create_index t ?(fanout = 64) ~name:iname ~columns () =
          columns)
   in
   let tree = Btree.create ~fanout t.pool in
+  Buffer_pool.name_file t.pool ~file:(Btree.file_id tree) ("index:" ^ iname);
   let idx = { idx_name = iname; key_columns = columns; key_ids; tree } in
   Heap_file.iter t.heap t.build (fun rid row -> Btree.insert tree t.build (index_key idx row) rid);
   t.indexes <- t.indexes @ [ idx ];

@@ -22,6 +22,14 @@ type event =
   | Fallback_tscan of { reason : string }
   | Query_aborted of { fault : string }
   | Quota_exceeded of { spent : float; quota : float }
+  | Span_begin of { span : string }
+      (** span-style tracing: a named phase (plan, execute, an arm of a
+          competition) opened; the matching [Span_end] carries its
+          actuals *)
+  | Span_end of { span : string; cost : float; rows : int }
+      (** the phase closed after charging [cost] units and delivering
+          [rows] rows — the per-node "actual" that EXPLAIN ANALYZE
+          prints next to the estimates *)
 
 type t = event Dynarray.t
 
@@ -66,6 +74,9 @@ let event_to_string = function
   | Query_aborted { fault } -> Printf.sprintf "query ABORTED: %s" fault
   | Quota_exceeded { spent; quota } ->
       Printf.sprintf "cost quota exceeded: %.2f spent of %.2f allowed" spent quota
+  | Span_begin { span } -> Printf.sprintf "span %s begin" span
+  | Span_end { span; cost; rows } ->
+      Printf.sprintf "span %s end (cost %.2f, rows %d)" span cost rows
 
 let pp fmt t =
   Dynarray.iter (fun e -> Format.fprintf fmt "%s@." (event_to_string e)) t

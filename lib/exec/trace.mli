@@ -37,6 +37,14 @@ type event =
       (** the heap itself was unreadable: no degradation possible *)
   | Quota_exceeded of { spent : float; quota : float }
       (** per-query cost-quota governor cancelled the retrieval *)
+  | Span_begin of { span : string }
+      (** span-style tracing: a named phase (plan, execute, an arm of a
+          competition) opened; the matching [Span_end] carries its
+          actuals *)
+  | Span_end of { span : string; cost : float; rows : int }
+      (** the phase closed after charging [cost] units and delivering
+          [rows] rows — the per-node "actual" that EXPLAIN ANALYZE
+          prints next to the estimates *)
 
 type t
 

@@ -50,7 +50,9 @@ type column_def = { col_name : string; col_type : Value.ty; col_nullable : bool 
 
 type statement =
   | Select of select
-  | Explain of select
+  | Explain of { analyze : bool; query : select }
+      (** [analyze]: annotate the plan with actual per-node costs and
+          row counts next to the estimates (EXPLAIN ANALYZE) *)
   | Create_table of string * column_def list
   | Create_index of { index : string; on_table : string; columns : string list }
   | Insert of { into : string; rows : operand list list }

@@ -575,13 +575,69 @@ let header_of db sel =
           cols (Database.table db sel.Ast.table) sel.Ast.table
           @ cols (Database.table db b_name) b_name)
 
+(* EXPLAIN ANALYZE annotations: the plan already ran (the dynamic
+   optimizer *is* execution), so pair every estimate in the trace with
+   the actual it turned out to have, and surface the per-span actuals
+   recorded by the retrieval. *)
+let analyze_lines (s : Retrieval.summary) =
+  let module T = Rdb_exec.Trace in
+  let actuals = Hashtbl.create 4 in
+  List.iter
+    (function
+      | T.Scan_completed { index; kept; scanned } ->
+          Hashtbl.replace actuals index (kept, scanned)
+      | _ -> ())
+    s.Retrieval.trace;
+  let est_lines =
+    List.filter_map
+      (function
+        | T.Estimated { index; estimate; exact; _ } -> (
+            match Hashtbl.find_opt actuals index with
+            | Some (kept, scanned) ->
+                let actual = float_of_int (max scanned 1) in
+                let est = Float.max 1.0 estimate in
+                let err = Float.max (est /. actual) (actual /. est) in
+                Some
+                  (Printf.sprintf
+                     "  analyze: %s estimated ~%.0f rids%s, actual %d scanned / %d kept \
+                      (error %.2fx)"
+                     index estimate
+                     (if exact then " (exact)" else "")
+                     scanned kept err)
+            | None ->
+                Some
+                  (Printf.sprintf "  analyze: %s estimated ~%.0f rids, scan not completed"
+                     index estimate))
+        | _ -> None)
+      s.Retrieval.trace
+  in
+  let span_lines =
+    List.filter_map
+      (function
+        | T.Span_end { span; cost; rows } ->
+            Some (Printf.sprintf "  analyze: span %s: actual cost %.2f, %d rows" span cost rows)
+        | _ -> None)
+      s.Retrieval.trace
+  in
+  let first =
+    match s.Retrieval.cost_to_first_row with
+    | Some c -> Printf.sprintf ", first row at %.2f" c
+    | None -> ""
+  in
+  est_lines @ span_lines
+  @ [
+      Printf.sprintf "  analyze: %d rows, total cost %.2f%s (%s)" s.Retrieval.rows_delivered
+        s.Retrieval.total_cost first
+        (Retrieval.status_to_string s.Retrieval.status);
+    ]
+
 let execute ?(env = []) ?config db stmt =
   match stmt with
   | Ast.Select sel ->
       let summaries = ref [] in
       let rows = run_select db env config summaries sel ~outer:None () in
       { columns = header_of db sel; rows; summaries = !summaries; message = None }
-  | Ast.Explain sel ->
+  | Ast.Explain { analyze; query = sel } ->
       let summaries = ref [] in
       let _rows = run_select db env config summaries sel ~outer:None () in
       let lines =
@@ -595,7 +651,8 @@ let execute ?(env = []) ?config db stmt =
                  (fun e -> "  " ^ Rdb_exec.Trace.event_to_string e)
                  s.Retrieval.trace
             @ [ Printf.sprintf "  total cost %.2f, %d rows" s.Retrieval.total_cost
-                  s.Retrieval.rows_delivered ])
+                  s.Retrieval.rows_delivered ]
+            @ (if analyze then analyze_lines s else []))
           !summaries
       in
       {

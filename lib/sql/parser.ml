@@ -45,7 +45,7 @@ let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "BETWEEN"; "IN"; "LIKE"; "IS";
     "NULL"; "ORDER"; "BY"; "LIMIT"; "TO"; "ROWS"; "OPTIMIZE"; "FOR"; "FAST"; "FIRST";
     "TOTAL"; "TIME"; "DISTINCT"; "EXISTS"; "VALUES"; "INSERT"; "INTO"; "CREATE";
-    "TABLE"; "INDEX"; "ON"; "EXPLAIN"; "DELETE"; "UPDATE"; "SET" ]
+    "TABLE"; "INDEX"; "ON"; "EXPLAIN"; "ANALYZE"; "DELETE"; "UPDATE"; "SET" ]
 
 let column st =
   let name = ident st in
@@ -291,7 +291,14 @@ let parse_statement_state st =
   | Lexer.Ident "SELECT" -> Ast.Select (parse_select_body st)
   | Lexer.Ident "EXPLAIN" ->
       advance st;
-      Ast.Explain (parse_select_body st)
+      let analyze =
+        match peek st with
+        | Lexer.Ident "ANALYZE" ->
+            advance st;
+            true
+        | _ -> false
+      in
+      Ast.Explain { analyze; query = parse_select_body st }
   | Lexer.Ident "CREATE" -> (
       advance st;
       match peek st with

@@ -1,3 +1,5 @@
+module Metrics = Rdb_util.Metrics
+
 type block = { file : int; index : int }
 
 (* Doubly-linked LRU list threaded through a hash table. *)
@@ -17,6 +19,8 @@ type t = {
   global : Cost.t;
   classes : (int, Fault.file_class) Hashtbl.t;
   mutable injector : Fault.t option;
+  names : (int, string) Hashtbl.t;  (* file id -> human label for metrics *)
+  mutable metrics : Metrics.t option;
 }
 
 let create ~capacity =
@@ -31,6 +35,8 @@ let create ~capacity =
     global = Cost.create ();
     classes = Hashtbl.create 16;
     injector = None;
+    names = Hashtbl.create 16;
+    metrics = None;
   }
 
 let capacity t = t.cap
@@ -51,6 +57,38 @@ let file_class t file =
 let set_injector t inj = t.injector <- inj
 let injector t = t.injector
 
+(* --- observability ---------------------------------------------------
+   Observation-only by contract: recording never touches the LRU list,
+   the cost meters, or residency, so enabling a registry cannot change
+   results or charged costs (pinned in test/test_metrics.ml). *)
+
+let set_metrics t m = t.metrics <- m
+let metrics t = t.metrics
+
+let name_file t ~file name = Hashtbl.replace t.names file name
+
+let file_label t file =
+  match Hashtbl.find_opt t.names file with
+  | Some n -> n
+  | None -> "file" ^ string_of_int file
+
+let record t event file =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      Metrics.incr (Metrics.counter m (Metrics.labeled ("pool." ^ event) (file_label t file)))
+
+(* Fault injectors raise; count the fault against the faulted file
+   before letting the failure propagate to the degradation policies. *)
+let inject t f block =
+  match t.injector with
+  | None -> ()
+  | Some inj -> (
+      try f inj with
+      | Fault.Injected _ as e ->
+          record t "fault" block.file;
+          raise e)
+
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
   (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
@@ -69,7 +107,8 @@ let evict_lru t =
   | Some n ->
       unlink t n;
       Hashtbl.remove t.table n.block;
-      t.count <- t.count - 1
+      t.count <- t.count - 1;
+      record t "evict" n.block.file
 
 let make_resident t block =
   let n = { block; prev = None; next = None } in
@@ -85,11 +124,12 @@ let touch_read t meter block =
       push_front t n;
       Cost.charge_logical meter;
       Cost.charge_logical t.global;
-      (match t.injector with
-      | None -> ()
-      | Some inj ->
+      record t "hit" block.file;
+      inject t
+        (fun inj ->
           Fault.on_read inj ~cls:(file_class t block.file) ~file:block.file
-            ~index:block.index ~hit:true);
+            ~index:block.index ~hit:true)
+        block;
       `Hit
   | None ->
       (* The I/O attempt is charged whether or not it succeeds; on a
@@ -97,11 +137,12 @@ let touch_read t meter block =
          there is nothing to cache), so a retry is another miss. *)
       Cost.charge_physical meter;
       Cost.charge_physical t.global;
-      (match t.injector with
-      | None -> ()
-      | Some inj ->
+      record t "miss" block.file;
+      inject t
+        (fun inj ->
           Fault.on_read inj ~cls:(file_class t block.file) ~file:block.file
-            ~index:block.index ~hit:false);
+            ~index:block.index ~hit:false)
+        block;
       make_resident t block;
       `Miss
 
@@ -110,11 +151,12 @@ let touch t meter block = ignore (touch_read t meter block)
 let write t meter block =
   Cost.charge_write meter;
   Cost.charge_write t.global;
-  (match t.injector with
-  | None -> ()
-  | Some inj ->
+  record t "write" block.file;
+  inject t
+    (fun inj ->
       Fault.on_write inj ~cls:(file_class t block.file) ~file:block.file
-        ~index:block.index);
+        ~index:block.index)
+    block;
   match Hashtbl.find_opt t.table block with
   | Some n ->
       unlink t n;

@@ -38,6 +38,20 @@ val set_injector : t -> Fault.t option -> unit
 
 val injector : t -> Fault.t option
 
+val set_metrics : t -> Rdb_util.Metrics.t option -> unit
+(** Attach (or detach) a metrics registry.  Observation-only: with a
+    registry attached the pool counts hits / misses / evictions /
+    writes / faults per file label, but charges, residency and results
+    are identical to an unobserved pool. *)
+
+val metrics : t -> Rdb_util.Metrics.t option
+
+val name_file : t -> file:int -> string -> unit
+(** Give a file a human label ("table:employees", "index:emp_dept")
+    used in per-file metric names.  Unnamed files show as "file<N>". *)
+
+val file_label : t -> int -> string
+
 val touch : t -> Cost.t -> block -> unit
 (** Access a block for reading: charge logical on hit, physical on
     miss (and make it resident, evicting if full). *)

@@ -1,0 +1,165 @@
+(* Deterministic observability registry: named counters, gauges, and
+   fixed-bucket histograms.  Everything here is measured in cost units
+   and call counts — never wall-clock time — so equal seeds produce
+   byte-identical dumps, and a dump can be golden-tested or diffed
+   across runs.
+
+   Metrics are *observation-only* by contract: recording into a
+   registry must never change result sets or charged costs (pinned by
+   the qcheck suite in test/test_metrics.ml).  Instrumented subsystems
+   therefore take an [t option] and skip all work on [None]. *)
+
+type counter = { mutable n : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;  (** strictly increasing upper bucket bounds *)
+  counts : int array;  (** length = [Array.length bounds + 1]; last = overflow *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type metric = M_counter of counter | M_gauge of gauge | M_histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+(* Power-of-four ladder over cost units: spans sub-page-read costs up
+   to full scans of the biggest bench tables. *)
+let default_buckets =
+  [| 1.0; 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0; 65536.0 |]
+
+let labeled name label = name ^ "{" ^ label ^ "}"
+
+let find_or_create t name make match_ =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+      match match_ m with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Metrics: %s registered with another kind" name))
+  | None ->
+      let m, v = make () in
+      Hashtbl.replace t.tbl name m;
+      v
+
+let counter t name =
+  find_or_create t name
+    (fun () ->
+      let c = { n = 0 } in
+      (M_counter c, c))
+    (function M_counter c -> Some c | _ -> None)
+
+let gauge t name =
+  find_or_create t name
+    (fun () ->
+      let g = { g = 0.0 } in
+      (M_gauge g, g))
+    (function M_gauge g -> Some g | _ -> None)
+
+let histogram ?(buckets = default_buckets) t name =
+  find_or_create t name
+    (fun () ->
+      let n = Array.length buckets in
+      if n = 0 then invalid_arg "Metrics.histogram: empty bucket bounds";
+      for i = 1 to n - 1 do
+        if buckets.(i) <= buckets.(i - 1) then
+          invalid_arg "Metrics.histogram: bucket bounds must be strictly increasing"
+      done;
+      let h =
+        { bounds = Array.copy buckets; counts = Array.make (n + 1) 0; sum = 0.0; count = 0 }
+      in
+      (M_histogram h, h))
+    (function M_histogram h -> Some h | _ -> None)
+
+let incr c = c.n <- c.n + 1
+let add c n = c.n <- c.n + n
+let counter_value c = c.n
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec place i = if i >= n then n else if v <= h.bounds.(i) then i else place (i + 1) in
+  let i = place 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+let histogram_count h = h.count
+let histogram_sum h = h.sum
+let histogram_counts h = Array.copy h.counts
+let histogram_bounds h = Array.copy h.bounds
+
+(* --- snapshots ------------------------------------------------------- *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { bounds : float array; counts : int array; sum : float; count : int }
+
+(* Sorted by name: iteration order never depends on hash-table
+   internals, so dumps are deterministic. *)
+let snapshot t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | M_counter c -> Counter c.n
+        | M_gauge g -> Gauge g.g
+        | M_histogram h ->
+            Histogram
+              {
+                bounds = Array.copy h.bounds;
+                counts = Array.copy h.counts;
+                sum = h.sum;
+                count = h.count;
+              }
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fnum f = Printf.sprintf "%.6g" f
+
+let value_to_string = function
+  | Counter n -> string_of_int n
+  | Gauge g -> fnum g
+  | Histogram { bounds; counts; sum; count } ->
+      let cells =
+        Array.to_list
+          (Array.mapi
+             (fun i c ->
+               let hi = if i < Array.length bounds then fnum bounds.(i) else "+inf" in
+               Printf.sprintf "<=%s:%d" hi c)
+             counts)
+      in
+      Printf.sprintf "count=%d sum=%s [%s]" count (fnum sum) (String.concat " " cells)
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (name ^ " = " ^ value_to_string v ^ "\n"))
+    (snapshot t);
+  Buffer.contents buf
+
+let value_to_json = function
+  | Counter n -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int n)) ]
+  | Gauge g -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num g) ]
+  | Histogram { bounds; counts; sum; count } ->
+      Json.Obj
+        [
+          ("type", Json.Str "histogram");
+          ("count", Json.Num (float_of_int count));
+          ("sum", Json.Num sum);
+          ("bounds", Json.Arr (Array.to_list (Array.map (fun b -> Json.Num b) bounds)));
+          ( "counts",
+            Json.Arr (Array.to_list (Array.map (fun c -> Json.Num (float_of_int c)) counts)) );
+        ]
+
+let to_json t = Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) (snapshot t))
+
+let is_empty t = Hashtbl.length t.tbl = 0
+
+let reset t = Hashtbl.reset t.tbl

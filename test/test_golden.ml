@@ -33,6 +33,14 @@ let check_golden name actual =
           (Filename.dirname Sys.executable_name)
           (Filename.concat "golden" (name ^ ".txt"))
       in
+      (* A missing snapshot must be a hard failure, not a skip: the
+         dune glob dependency silently omits absent files, so without
+         this check a deleted/never-committed golden would pass. *)
+      if not (Sys.file_exists path) then
+        Alcotest.failf
+          "missing golden snapshot %s — regenerate with RDB_GOLDEN_UPDATE=test/golden \
+           dune exec test/test_golden.exe and commit test/golden/%s.txt"
+          path name;
       let expected = In_channel.with_open_text path In_channel.input_all in
       if expected <> actual then begin
         let exp_lines = String.split_on_char '\n' expected in

@@ -1,0 +1,294 @@
+(* Tests for the deterministic metrics registry and the minimal JSON
+   codec, plus the observation-only contract: attaching a registry to
+   the buffer pool and the retrieval config must never change result
+   sets or charged costs (CLAUDE.md invariant: estimates and metrics
+   steer nothing). *)
+
+open Rdb_data
+open Rdb_engine
+module M = Rdb_util.Metrics
+module Json = Rdb_util.Json
+module R = Rdb_core.Retrieval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- registry basics ------------------------------------------------- *)
+
+let test_counter_gauge_basics () =
+  let m = M.create () in
+  check "fresh registry is empty" true (M.is_empty m);
+  let c = M.counter m "hits" in
+  M.incr c;
+  M.incr c;
+  M.add c 3;
+  check_int "counter accumulates" 5 (M.counter_value c);
+  check_int "find-or-create returns the same cell" 5
+    (M.counter_value (M.counter m "hits"));
+  let g = M.gauge m "depth" in
+  M.set g 4.5;
+  M.set g 2.0;
+  check "gauge keeps last value" true (M.gauge_value g = 2.0);
+  check_str "labeled naming" "pool.hit{table:T}" (M.labeled "pool.hit" "table:T");
+  M.reset m;
+  check "reset empties" true (M.is_empty m)
+
+let test_kind_mismatch_rejected () =
+  let m = M.create () in
+  ignore (M.counter m "x");
+  check "gauge on a counter name" true
+    (match M.gauge m "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "histogram on a counter name" true
+    (match M.histogram m "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bad_histogram_bounds_rejected () =
+  let m = M.create () in
+  check "empty bounds" true
+    (match M.histogram ~buckets:[||] m "h0" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "non-increasing bounds" true
+    (match M.histogram ~buckets:[| 1.0; 1.0; 2.0 |] m "h1" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_snapshot_sorted () =
+  (* Same metrics registered in different orders must render
+     byte-identically: dumps never depend on hash-table internals. *)
+  let fill names =
+    let m = M.create () in
+    List.iter (fun n -> M.incr (M.counter m n)) names;
+    M.to_string m
+  in
+  let names = [ "zebra"; "alpha"; "pool.hit{t}"; "mid" ] in
+  check_str "order-independent dump" (fill names) (fill (List.rev names));
+  let order = List.map fst (M.snapshot (let m = M.create () in
+                                        List.iter (fun n -> ignore (M.counter m n)) names;
+                                        m)) in
+  check "snapshot sorted by name" true (order = List.sort compare order)
+
+(* --- histogram bucket invariants (qcheck) ---------------------------- *)
+
+let prop_histogram_invariants =
+  QCheck.Test.make ~name:"histogram bucket invariants" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_range (-10.0) 100000.0))
+    (fun xs ->
+      let m = M.create () in
+      let h = M.histogram m "h" in
+      List.iter (M.observe h) xs;
+      let counts = M.histogram_counts h in
+      let bounds = M.histogram_bounds h in
+      let n = List.length xs in
+      (* count and sum track the observations exactly *)
+      M.histogram_count h = n
+      && Array.fold_left ( + ) 0 counts = n
+      && abs_float (M.histogram_sum h -. List.fold_left ( +. ) 0.0 xs) < 1e-6
+      (* each bucket holds exactly the observations in its range *)
+      && Array.to_list counts
+         = List.init (Array.length counts) (fun i ->
+               let lo = if i = 0 then neg_infinity else bounds.(i - 1) in
+               let hi = if i < Array.length bounds then bounds.(i) else infinity in
+               List.length (List.filter (fun v -> v > lo && v <= hi) xs)))
+
+(* --- fixture (shape of test_core's) ---------------------------------- *)
+
+let schema =
+  Schema.make
+    [
+      Schema.col "ID" Value.T_int;
+      Schema.col "X" Value.T_int;
+      Schema.col "Y" Value.T_int;
+      Schema.col "S" Value.T_str;
+    ]
+
+let fixture ?(rows = 1500) ?(pool_capacity = 256) ?(seed = 19) () =
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:pool_capacity in
+  let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
+  let rng = Rdb_util.Prng.create ~seed in
+  for i = 0 to rows - 1 do
+    ignore
+      (Table.insert table
+         [|
+           Value.int i;
+           Value.int (Rdb_util.Prng.int rng 100);
+           Value.int (Rdb_util.Prng.int rng 1000);
+           Value.str (Printf.sprintf "s%05d" i);
+         |])
+  done;
+  ignore (Table.create_index table ~name:"X_IDX" ~columns:[ "X" ] ());
+  ignore (Table.create_index table ~name:"Y_IDX" ~columns:[ "Y" ] ());
+  table
+
+let sort_rows rows = List.sort (fun a b -> Row.compare_at [| 0 |] a b) rows
+
+let run_instrumented ~seed pred =
+  let table = fixture ~seed () in
+  let m = M.create () in
+  Rdb_storage.Buffer_pool.set_metrics (Table.pool table) (Some m);
+  let rows, s =
+    R.run ~config:{ R.default_config with R.metrics = Some m } table (R.request pred)
+  in
+  (rows, s, m)
+
+(* --- determinism under equal seeds ----------------------------------- *)
+
+let test_registry_determinism () =
+  let open Predicate in
+  let pred = And [ "X" <% Value.int 25; "Y" <% Value.int 450 ] in
+  let _, _, m1 = run_instrumented ~seed:19 pred in
+  let _, _, m2 = run_instrumented ~seed:19 pred in
+  check "equal seeds give byte-identical dumps" true
+    (M.to_string m1 = M.to_string m2);
+  check "something was recorded" true (not (M.is_empty m1));
+  let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  check "pool metrics carry table/index labels" true
+    (List.exists
+       (fun (name, _) ->
+         has_prefix "pool." name
+         && (has_prefix "pool.hit{table:T" name
+            || has_prefix "pool.hit{index:" name
+            || has_prefix "pool.miss{table:T" name
+            || has_prefix "pool.miss{index:" name))
+       (M.snapshot m1))
+
+(* --- observation-only contract (qcheck) ------------------------------ *)
+
+let prop_metrics_observation_only =
+  QCheck.Test.make
+    ~name:"metrics are observation-only: same rows, same charged costs" ~count:12
+    QCheck.(pair (int_range 1 60) (int_range 1 900))
+    (fun (x_cut, y_cut) ->
+      let open Predicate in
+      let pred = And [ "X" <% Value.int x_cut; "Y" <% Value.int y_cut ] in
+      (* identical fixtures (same seed); only the registry differs *)
+      let table_plain = fixture () in
+      let rows_plain, s_plain =
+        R.run ~config:R.default_config table_plain (R.request pred)
+      in
+      let table_obs = fixture () in
+      let m = M.create () in
+      Rdb_storage.Buffer_pool.set_metrics (Table.pool table_obs) (Some m);
+      let rows_obs, s_obs =
+        R.run
+          ~config:{ R.default_config with R.metrics = Some m }
+          table_obs (R.request pred)
+      in
+      let pool_total t =
+        Rdb_storage.Cost.total (Rdb_storage.Buffer_pool.global_meter (Table.pool t))
+      in
+      sort_rows rows_plain = sort_rows rows_obs
+      && s_plain.R.total_cost = s_obs.R.total_cost
+      && s_plain.R.tactic = s_obs.R.tactic
+      && pool_total table_plain = pool_total table_obs)
+
+let test_pool_charges_identical_with_registry () =
+  (* Byte-level check on the pool meter: instrumented and plain
+     fixtures charge exactly the same physical/logical/write counts. *)
+  let open Predicate in
+  let pred = And [ "X" <% Value.int 25; "Y" <% Value.int 450 ] in
+  let table_plain = fixture () in
+  let _ = R.run table_plain (R.request pred) in
+  let rows_obs, _, _ = run_instrumented ~seed:19 pred in
+  let table_obs2 = fixture () in
+  let m = M.create () in
+  Rdb_storage.Buffer_pool.set_metrics (Table.pool table_obs2) (Some m);
+  let rows_obs2, _ = R.run table_obs2 (R.request pred) in
+  let meter t = Rdb_storage.Buffer_pool.global_meter (Table.pool t) in
+  let fingerprint t =
+    let c = meter t in
+    ( Rdb_storage.Cost.physical_reads c,
+      Rdb_storage.Cost.logical_reads c,
+      Rdb_storage.Cost.block_writes c )
+  in
+  check "identical charge fingerprint" true
+    (fingerprint table_plain = fingerprint table_obs2);
+  check "identical rows" true (sort_rows rows_obs = sort_rows rows_obs2)
+
+(* --- JSON codec ------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("experiment", Json.Str "competition");
+        ("pass", Json.Bool true);
+        ("nothing", Json.Null);
+        ("cost", Json.Num 59.25);
+        ("counts", Json.Arr [ Json.Num 1.0; Json.Num 2.0; Json.Num 3.0 ]);
+        ("nested", Json.Obj [ ("s", Json.Str "a \"quoted\"\nline") ]);
+        ("empty_arr", Json.Arr []);
+        ("empty_obj", Json.Obj []);
+      ]
+  in
+  check "compact roundtrip" true (Json.of_string (Json.to_string v) = v);
+  check "pretty roundtrip" true (Json.of_string (Json.to_string ~pretty:true v) = v);
+  check_str "integers print without fraction" "{\"n\":42}"
+    (Json.to_string (Json.Obj [ ("n", Json.Num 42.0) ]));
+  check "accessors" true
+    (Option.bind (Json.member "cost" v) Json.to_num = Some 59.25
+    && Option.bind (Json.member "pass" v) Json.to_bool = Some true
+    && Option.bind (Json.member "experiment" v) Json.to_str = Some "competition");
+  check "unicode escape decodes" true
+    (Json.of_string "\"a\\u00e9b\"" = Json.Str "a\xc3\xa9b")
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.of_string s with exception Json.Parse_error _ -> true | _ -> false
+  in
+  check "trailing garbage" true (bad "{} x");
+  check "unterminated string" true (bad "\"abc");
+  check "bare word" true (bad "frue");
+  check "missing colon" true (bad "{\"a\" 1}")
+
+let test_metrics_to_json () =
+  let m = M.create () in
+  M.add (M.counter m "c") 7;
+  M.set (M.gauge m "g") 1.5;
+  M.observe (M.histogram ~buckets:[| 1.0; 10.0 |] m "h") 5.0;
+  let j = M.to_json m in
+  (* the dump is valid JSON and roundtrips *)
+  check "roundtrips" true (Json.of_string (Json.to_string j) = j);
+  check "counter value" true
+    (Option.bind (Json.member "c" j) (Json.member "value")
+    |> Fun.flip Option.bind Json.to_num
+    = Some 7.0);
+  check "histogram count" true
+    (Option.bind (Json.member "h" j) (Json.member "count")
+    |> Fun.flip Option.bind Json.to_num
+    = Some 1.0)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "rdb_metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter and gauge basics" `Quick test_counter_gauge_basics;
+          Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch_rejected;
+          Alcotest.test_case "bad histogram bounds rejected" `Quick
+            test_bad_histogram_bounds_rejected;
+          Alcotest.test_case "snapshots sorted and order-independent" `Quick
+            test_snapshot_sorted;
+          qcheck prop_histogram_invariants;
+        ] );
+      ( "observation",
+        [
+          Alcotest.test_case "equal seeds give identical dumps" `Quick
+            test_registry_determinism;
+          qcheck prop_metrics_observation_only;
+          Alcotest.test_case "pool charges identical with registry" `Quick
+            test_pool_charges_identical_with_registry;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "metrics to_json" `Quick test_metrics_to_json;
+        ] );
+    ]
