@@ -63,47 +63,54 @@ let parse_doc path j =
 
 let eps = 1e-9
 
-let check_experiment ~tolerance ~current_dir base_path =
+(* Each failure is recorded as "experiment/offender" so the exit
+   summary can name exactly which gates tripped, not just how many. *)
+let check_experiment ~tolerance ~current_dir ~offenders base_path =
   let file = Filename.basename base_path in
   let cur_path = Filename.concat current_dir file in
   if not (Sys.file_exists cur_path) then begin
     Printf.printf "FAIL %s: current run produced no %s\n" file cur_path;
+    offenders := (file ^ "/missing-output") :: !offenders;
     1
   end
   else begin
     let _, base_cps, base_ms = parse_doc base_path (load base_path) in
     let exp_name, cur_cps, cur_ms = parse_doc cur_path (load cur_path) in
     let failures = ref 0 in
-    let fail fmt =
+    let fail ~offender fmt =
       Printf.ksprintf
         (fun s ->
           incr failures;
+          offenders := (exp_name ^ "/" ^ offender) :: !offenders;
           Printf.printf "FAIL %s: %s\n" exp_name s)
         fmt
     in
     List.iter
-      (fun (name, pass) -> if not pass then fail "checkpoint %S failed" name)
+      (fun (name, pass) ->
+        if not pass then fail ~offender:name "checkpoint %S failed" name)
       cur_cps;
     if List.length cur_cps < List.length base_cps then
-      fail "checkpoint count shrank (%d -> %d): a gate disappeared"
+      fail ~offender:"checkpoint-count"
+        "checkpoint count shrank (%d -> %d): a gate disappeared"
         (List.length base_cps) (List.length cur_cps);
     List.iter
       (fun (name, (base : metric)) ->
         match List.assoc_opt name cur_ms with
         | None ->
-            if base.direction <> "info" then fail "gated metric %S disappeared" name
+            if base.direction <> "info" then
+              fail ~offender:name "gated metric %S disappeared" name
         | Some cur -> (
             match base.direction with
             | "lower_better" ->
                 if cur.value > (base.value *. (1.0 +. tolerance)) +. eps then
-                  fail "%s regressed: %.6g -> %.6g (> +%.0f%%)" name base.value
-                    cur.value (100.0 *. tolerance)
+                  fail ~offender:name "%s regressed: %.6g -> %.6g (> +%.0f%%)" name
+                    base.value cur.value (100.0 *. tolerance)
             | "higher_better" ->
                 if cur.value < (base.value *. (1.0 -. tolerance)) -. eps then
-                  fail "%s regressed: %.6g -> %.6g (< -%.0f%%)" name base.value
-                    cur.value (100.0 *. tolerance)
+                  fail ~offender:name "%s regressed: %.6g -> %.6g (< -%.0f%%)" name
+                    base.value cur.value (100.0 *. tolerance)
             | "info" -> ()
-            | d -> fail "metric %S has unknown direction %S" name d))
+            | d -> fail ~offender:name "metric %S has unknown direction %S" name d))
       base_ms;
     if !failures = 0 then
       Printf.printf "ok   %s: %d checkpoints pass, %d metrics within %.0f%%\n" exp_name
@@ -124,13 +131,15 @@ let main baseline_dir current_dir tolerance =
     |> List.map (Filename.concat baseline_dir)
   in
   if baselines = [] then die "no BENCH_*.json baselines in %s" baseline_dir;
+  let offenders = ref [] in
   let failures =
     List.fold_left
-      (fun acc p -> acc + check_experiment ~tolerance ~current_dir p)
+      (fun acc p -> acc + check_experiment ~tolerance ~current_dir ~offenders p)
       0 baselines
   in
   if failures > 0 then begin
-    Printf.eprintf "%d perf-gate failure(s)\n" failures;
+    Printf.eprintf "%d perf-gate failure(s): %s\n" failures
+      (String.concat ", " (List.rev !offenders));
     exit 1
   end
 

@@ -138,10 +138,15 @@ let run () =
   let rows_dead_heap, s_dead_heap, _ =
     run_with f0 (Some (Fault.plan ~persistent_files:[ heap ] ~seed:7 ()))
   in
+  (* Quarantine is visible either as the scan-level event (a running
+     scan discarded) or as the health transition (a dead structure
+     caught at planning, before any scan starts). *)
   let degradations trace =
     count_events
       (function
-        | Trace.Index_quarantined _ | Trace.Fallback_tscan _ -> true | _ -> false)
+        | Trace.Index_quarantined _ | Trace.Fallback_tscan _
+        | Trace.Health_transition { to_ = "quarantined"; _ } -> true
+        | _ -> false)
       trace
   in
   Bench_common.subsection "persistent-fault policies";

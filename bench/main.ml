@@ -29,6 +29,7 @@ let experiments : (string * string * (unit -> unit)) list =
     (Exp_clustering.name, Exp_clustering.description, Exp_clustering.run);
     (Exp_faults.name, Exp_faults.description, Exp_faults.run);
     (Exp_concurrency.name, Exp_concurrency.description, Exp_concurrency.run);
+    (Exp_chaos.name, Exp_chaos.description, Exp_chaos.run);
     (Exp_micro.name, Exp_micro.description, Exp_micro.run);
   ]
 

@@ -13,6 +13,7 @@
      .set NAME VALUE    bind a host variable (:NAME), VALUE int or 'str'
      .unset NAME        remove a binding
      .params            show bindings
+     .health            per-structure health states (self-healing registry)
      .concurrent [I] [N]  N queries through the session scheduler, I in-flight
      .quit              exit
 
@@ -110,7 +111,11 @@ let run_sql db sql =
   try
     let r = Rdb_sql.Executor.execute_sql ~env:!params ~config:retrieval_config db sql in
     (match r.Rdb_sql.Executor.message with
-    | Some m -> print_endline m
+    | Some m ->
+        (* CHECK/REPAIR return a table *and* a summary line *)
+        if r.Rdb_sql.Executor.columns <> [] then
+          print_table r.Rdb_sql.Executor.columns r.Rdb_sql.Executor.rows;
+        print_endline m
     | None ->
         if r.Rdb_sql.Executor.columns <> [] then
           print_table r.Rdb_sql.Executor.columns r.Rdb_sql.Executor.rows;
@@ -155,8 +160,8 @@ let meta db line =
   | [ ".help" ] ->
       print_endline
         ".tables | .demo | .set NAME VALUE | .unset NAME | .params | .flush | .stats | \
-         .concurrent [INFLIGHT] [COUNT] | .quit — else SQL \
-         (SELECT/INSERT/UPDATE/DELETE/CREATE/EXPLAIN)"
+         .health | .concurrent [INFLIGHT] [COUNT] | .quit — else SQL \
+         (SELECT/INSERT/UPDATE/DELETE/CREATE/EXPLAIN/CHECK/REPAIR)"
   | [ ".tables" ] -> show_tables db
   | [ ".demo" ] -> load_demo db
   | [ ".flush" ] ->
@@ -177,6 +182,20 @@ let meta db line =
         String.split_on_char '\n' (Rdb_util.Metrics.to_string registry)
         |> List.iter (fun l -> if l <> "" then Printf.printf "  %s\n" l)
       end
+  | [ ".health" ] ->
+      let any = ref false in
+      List.iter
+        (fun table ->
+          let statuses = Health.report (Table.health table) ~now:(Table.now table) in
+          if statuses <> [] then begin
+            any := true;
+            Printf.printf "%s:\n" (Table.name table);
+            List.iter
+              (fun s -> Printf.printf "  %s\n" (Health.status_to_string s))
+              statuses
+          end)
+        (Database.tables db);
+      if not !any then print_endline "all structures healthy (nothing reported)"
   | ".concurrent" :: rest ->
       let int_arg s =
         match int_of_string_opt s with

@@ -15,11 +15,32 @@ type decision = No_rows of string | Arranged of classified
 
 let shortcut_threshold = 16
 
+(* Forward a health transition to the pool metrics and the trace. *)
+let note_health table trace tr =
+  match Table.note_transition table tr with
+  | None -> ()
+  | Some tr ->
+      Trace.emit trace
+        (Trace.Health_transition
+           {
+             structure = tr.Health.tr_structure;
+             from_ = Health.state_to_string tr.Health.tr_from;
+             to_ = Health.state_to_string tr.Health.tr_to;
+             reason = tr.Health.tr_reason;
+           })
+
+(* Catalog indexes the health registry allows plans to touch:
+   quarantined-in-backoff and rebuilding indexes are invisible to the
+   optimizer (a quarantined index past its backoff is offered — that
+   planning attempt is the re-probe). *)
+let usable_indexes table =
+  List.filter (Table.index_usable table) (Table.indexes table)
+
 (* Indexes in the adaptively-remembered order, unremembered ones
    last in catalog order. *)
 let indexes_in_preferred_order table =
   let preferred = Table.preferred_order table in
-  let all = Table.indexes table in
+  let all = usable_indexes table in
   let remembered =
     List.filter_map (fun n -> List.find_opt (fun i -> i.Table.idx_name = n) all) preferred
   in
@@ -69,7 +90,7 @@ let union_candidates table meter trace ~restriction ~nodes_spent =
               | Some b when b.Scan.est <= cand.Scan.est -> ()
               | _ -> best := Some cand
             end)
-          (Table.indexes table);
+          (usable_indexes table);
         !best
       in
       let rec all_covered acc = function
@@ -101,49 +122,87 @@ let run table meter trace ~restriction ~needed_columns ~order_by =
         let extraction = Range_extract.for_index restriction idx in
         if not extraction.Range_extract.bounded then None
         else begin
-          let est, exact =
-            if !stop_estimating then
+          let name = idx.Table.idx_name in
+          let health = Table.health table in
+          let probing = Health.probe_due health ~now:(Table.now table) name in
+          let pessimistic = (float_of_int (Btree.cardinality idx.Table.tree), false) in
+          let est_opt =
+            if !stop_estimating && not probing then
               (* Pessimistic default: unknown, assume the whole index. *)
-              (float_of_int (Btree.cardinality idx.Table.tree), false)
+              Some pessimistic
             else begin
               match Estimate.ranges idx.Table.tree meter extraction.Range_extract.ranges with
               | exception Fault.Injected f ->
-                  (* Estimation is advice: a faulting descent costs us
-                     accuracy, never the index.  Fall back to the same
-                     pessimistic whole-index default as a shortcut. *)
                   Trace.emit trace
                     (Trace.Fault_detected
                        { site = "estimation"; fault = Fault.describe f });
-                  (float_of_int (Btree.cardinality idx.Table.tree), false)
+                  if probing then begin
+                    (* The re-probe of a quarantined index failed:
+                       escalate its backoff and keep it out of the
+                       plan. *)
+                    note_health table trace
+                      (Health.record_dead health ~now:(Table.now table) name);
+                    None
+                  end
+                  else begin
+                    match f.Fault.kind with
+                    | Fault.Persistent ->
+                        (* The file is dead; a scan over it cannot
+                           succeed either.  Quarantine now. *)
+                        note_health table trace
+                          (Health.record_dead health ~now:(Table.now table) name);
+                        None
+                    | Fault.Corrupt ->
+                        note_health table trace
+                          (Health.record_corrupt health ~now:(Table.now table) name);
+                        if Health.usable health ~now:(Table.now table) name then
+                          (* Estimation is advice: a suspect descent
+                             costs us accuracy, never the index. *)
+                          Some pessimistic
+                        else None
+                    | Fault.Transient | Fault.Spill_full ->
+                        (* Estimation is advice: a faulting descent
+                           costs us accuracy, never the index.  Fall
+                           back to the pessimistic whole-index
+                           default. *)
+                        Some pessimistic
+                  end
               | r ->
-              nodes_spent := !nodes_spent + r.Estimate.nodes_visited;
-              Trace.emit trace
-                (Trace.Estimated
-                   {
-                     index = idx.Table.idx_name;
-                     estimate = r.Estimate.estimate;
-                     exact = r.Estimate.exact;
-                     nodes = r.Estimate.nodes_visited;
-                   });
-              if r.Estimate.exact && r.Estimate.estimate = 0.0 then
-                empty_found := Some idx.Table.idx_name
-              else if r.Estimate.estimate <= float_of_int shortcut_threshold then begin
-                stop_estimating := true;
-                Trace.emit trace
-                  (Trace.Shortcut_estimation
-                     { index = idx.Table.idx_name; estimate = r.Estimate.estimate })
-              end;
-              (r.Estimate.estimate, r.Estimate.exact)
+                  if probing then
+                    (* The descent succeeded: the quarantined index is
+                       readable again. *)
+                    note_health table trace (Health.mark_healthy health name);
+                  nodes_spent := !nodes_spent + r.Estimate.nodes_visited;
+                  Trace.emit trace
+                    (Trace.Estimated
+                       {
+                         index = name;
+                         estimate = r.Estimate.estimate;
+                         exact = r.Estimate.exact;
+                         nodes = r.Estimate.nodes_visited;
+                       });
+                  if r.Estimate.exact && r.Estimate.estimate = 0.0 then
+                    empty_found := Some name
+                  else if r.Estimate.estimate <= float_of_int shortcut_threshold then begin
+                    stop_estimating := true;
+                    Trace.emit trace
+                      (Trace.Shortcut_estimation
+                         { index = name; estimate = r.Estimate.estimate })
+                  end;
+                  Some (r.Estimate.estimate, r.Estimate.exact)
             end
           in
-          Some
-            {
-              Scan.idx;
-              ranges = extraction.Range_extract.ranges;
-              residual = extraction.Range_extract.residual;
-              est;
-              est_exact = exact;
-            }
+          match est_opt with
+          | None -> None
+          | Some (est, exact) ->
+              Some
+                {
+                  Scan.idx;
+                  ranges = extraction.Range_extract.ranges;
+                  residual = extraction.Range_extract.residual;
+                  est;
+                  est_exact = exact;
+                }
         end)
       indexes
   in
@@ -182,7 +241,7 @@ let run table meter trace ~restriction ~needed_columns ~order_by =
                   est = float_of_int (Btree.cardinality idx.Table.tree);
                   est_exact = true;
                 })
-          (Table.indexes table)
+          (usable_indexes table)
       in
       let self_sufficient = bounded_covering @ unbounded_covering in
       let order_index =
@@ -200,7 +259,7 @@ let run table meter trace ~restriction ~needed_columns ~order_by =
               (* An unbounded order index is still useful for order. *)
               List.find_opt
                 (fun i -> Table.index_provides_order i ~order:order_by)
-                (Table.indexes table)
+                (usable_indexes table)
               |> Option.map (fun idx ->
                      {
                        Scan.idx;

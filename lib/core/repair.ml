@@ -1,0 +1,147 @@
+open Rdb_btree
+open Rdb_data
+open Rdb_engine
+open Rdb_exec
+open Rdb_storage
+
+type t = {
+  table : Table.t;
+  index : string;
+  new_tree : Btree.t;
+  key_of : Row.t -> Btree.key;
+  meter : Cost.t;
+  cursor : Heap_file.cursor;
+  batch : int;
+  retry_limit : int;
+  trace : Trace.t;
+  mutable pending : (Rid.t * Row.t) option;
+      (* a row read from the heap whose insert faulted: replayed first *)
+  mutable entries : int;
+  mutable consec_faults : int;
+  mutable result : bool option;
+}
+
+let default_batch = 64
+let default_retry_limit = 8
+
+let emit_transition t tr =
+  match Table.note_transition t.table tr with
+  | None -> ()
+  | Some tr ->
+      Trace.emit t.trace
+        (Trace.Health_transition
+           {
+             structure = tr.Health.tr_structure;
+             from_ = Health.state_to_string tr.Health.tr_from;
+             to_ = Health.state_to_string tr.Health.tr_to;
+             reason = tr.Health.tr_reason;
+           })
+
+let create ?(batch = default_batch) ?(retry_limit = default_retry_limit) table ~index =
+  if batch < 1 then invalid_arg "Repair.create: batch < 1";
+  let idx =
+    match Table.find_index table index with
+    | Some idx -> idx
+    | None -> invalid_arg ("Repair.create: unknown index " ^ index)
+  in
+  let meter = Cost.create () in
+  let t =
+    {
+      table;
+      index;
+      new_tree = Btree.create ~fanout:(Btree.fanout idx.Table.tree) (Table.pool table);
+      key_of = Table.index_key idx;
+      meter;
+      cursor = Heap_file.scan (Table.heap table) meter;
+      batch;
+      retry_limit;
+      trace = Trace.create ();
+      pending = None;
+      entries = 0;
+      consec_faults = 0;
+      result = None;
+    }
+  in
+  Trace.emit t.trace (Trace.Repair_started { index });
+  emit_transition t (Health.begin_rebuild (Table.health table) index);
+  t
+
+let index_name t = t.index
+let entries t = t.entries
+let spent t = Cost.total t.meter
+let trace t = t.trace
+let result t = t.result
+
+let finish t ok =
+  t.result <- Some ok;
+  if ok then Table.replace_index t.table ~name:t.index t.new_tree;
+  emit_transition t
+    (Health.end_rebuild (Table.health t.table) ~now:(Table.now t.table) ~ok t.index);
+  (match Buffer_pool.metrics (Table.pool t.table) with
+  | None -> ()
+  | Some m ->
+      let module M = Rdb_util.Metrics in
+      M.incr (M.counter m (if ok then "repair.completed" else "repair.failed"));
+      M.add (M.counter m "repair.entries") t.entries);
+  Trace.emit t.trace
+    (Trace.Repair_done { index = t.index; entries = t.entries; cost = spent t; ok });
+  `Done ok
+
+(* One scheduler quantum: copy up to [batch] heap entries into the new
+   tree.  The heap cursor retries the same page after a faulted read
+   and (key, rid) inserts are idempotent, so transient faults replay
+   the in-flight row instead of dropping or duplicating it. *)
+let step t =
+  match t.result with
+  | Some ok -> `Done ok
+  | None -> (
+      let insert_row (rid, row) =
+        t.pending <- Some (rid, row);
+        Btree.insert t.new_tree t.meter (t.key_of row) rid;
+        t.pending <- None;
+        t.entries <- t.entries + 1
+      in
+      let rec copy n =
+        if n = 0 then `Working
+        else begin
+          match t.pending with
+          | Some p ->
+              insert_row p;
+              t.consec_faults <- 0;
+              copy (n - 1)
+          | None -> (
+              match Heap_file.next t.cursor with
+              | None -> `Copied_all
+              | Some p ->
+                  insert_row p;
+                  t.consec_faults <- 0;
+                  copy (n - 1))
+        end
+      in
+      match copy t.batch with
+      | `Working -> `Working
+      | `Copied_all -> finish t true
+      | exception Fault.Injected f ->
+          Trace.emit t.trace
+            (Trace.Fault_detected { site = "repair"; fault = Fault.describe f });
+          t.consec_faults <- t.consec_faults + 1;
+          if Fault.is_transient f && t.consec_faults <= t.retry_limit then begin
+            (* Same deterministic backoff as retrieval: the i-th
+               consecutive retry charges i physical reads. *)
+            for _ = 1 to t.consec_faults do
+              Cost.charge_physical t.meter
+            done;
+            Trace.emit t.trace
+              (Trace.Fault_retry
+                 { site = "repair"; attempt = t.consec_faults; penalty = t.consec_faults });
+            `Working
+          end
+          else
+            (* The ground truth itself is unreadable (or persistently
+               flaky): give up; the index goes back to quarantine with
+               an escalated backoff. *)
+            finish t false)
+
+let run t =
+  let rec loop () = match step t with `Working -> loop () | `Done ok -> ok in
+  loop ()

@@ -1,0 +1,46 @@
+(** Online index rebuild.
+
+    Reconstructs a damaged index from the heap — the ground truth — in
+    bounded increments so the multi-query session scheduler can
+    interleave the rebuild with foreground queries.  Every heap page
+    read and new-tree node write is charged through the buffer pool to
+    the repair's own meter, so the rebuild competes for cache and cost
+    quanta like any other session.
+
+    Lifecycle: {!create} moves the index to [Rebuilding] (it disappears
+    from planning); each {!step} copies a batch of rows into a fresh
+    tree, retrying transient heap faults with the same deterministic
+    backoff as retrieval; on success the new tree is atomically swapped
+    in ({!Rdb_engine.Table.replace_index} — pool label moved, stale
+    blocks evicted, cached estimation state reseeded) and the index
+    returns to [Healthy].  On a persistent heap fault the rebuild fails
+    and the index goes back to [Quarantined] with an escalated
+    backoff — degraded, but never absorbing: the re-probe path
+    remains. *)
+
+type t
+
+val create : ?batch:int -> ?retry_limit:int -> Rdb_engine.Table.t -> index:string -> t
+(** Start rebuilding [index].  [batch] (default 64) rows are copied per
+    {!step}; [retry_limit] (default 8) bounds consecutive transient
+    faults before the rebuild gives up.  Raises [Invalid_argument] on
+    an unknown index name. *)
+
+val step : t -> [ `Working | `Done of bool ]
+(** One scheduler quantum of copying.  Idempotent after completion. *)
+
+val run : t -> bool
+(** Drive {!step} to completion (non-scheduled callers). *)
+
+val index_name : t -> string
+val entries : t -> int
+(** Entries copied into the new tree so far. *)
+
+val spent : t -> float
+(** Cost charged by the rebuild so far. *)
+
+val result : t -> bool option
+(** [None] while working. *)
+
+val trace : t -> Rdb_exec.Trace.t
+(** Repair_started / retries / health transitions / Repair_done. *)

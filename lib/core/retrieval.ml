@@ -659,6 +659,35 @@ let open_ ?(config = default_config) table (req : request) =
 (* Degradation policies                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* A non-retriable fault also feeds the table's health registry: the
+   structure backing the faulted file is marked suspect (checksum
+   mismatch) or quarantined (dead), so *later* queries stop planning
+   with it instead of rediscovering the fault.  Spill and foreign
+   files map to no structure and are skipped. *)
+let note_structure_fault c (f : Fault.failure) =
+  match Table.structure_of_file c.table f.Fault.file with
+  | None -> ()
+  | Some structure -> (
+      let health = Table.health c.table in
+      let now = Table.now c.table in
+      let tr =
+        match f.Fault.kind with
+        | Fault.Corrupt -> Health.record_corrupt health ~now structure
+        | Fault.Persistent | Fault.Transient | Fault.Spill_full ->
+            Health.record_dead health ~now structure
+      in
+      match Table.note_transition c.table tr with
+      | None -> ()
+      | Some tr ->
+          Trace.emit c.trace
+            (Trace.Health_transition
+               {
+                 structure = tr.Health.tr_structure;
+                 from_ = Health.state_to_string tr.Health.tr_from;
+                 to_ = Health.state_to_string tr.Health.tr_to;
+                 reason = tr.Health.tr_reason;
+               }))
+
 let abort_query c f =
   Trace.emit c.trace (Trace.Query_aborted { fault = Fault.describe f });
   c.aborted <- Some (Fault.describe f)
@@ -695,6 +724,7 @@ let handle_fault c f =
   end
   else begin
     c.consec_faults <- 0;
+    note_structure_fault c f;
     match c.pending_bg with
     | Some quarantine -> quarantine f
     | None -> (

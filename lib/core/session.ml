@@ -43,6 +43,20 @@ type session_stats = {
   s_summary : Retrieval.summary;
 }
 
+type repair_stats = {
+  r_id : id;
+  r_label : string;
+  r_index : string;
+  r_entries : int;
+  r_ok : bool;
+  r_quanta : int;
+  r_charged : float;
+  r_queue_wait : int;
+  r_max_gap : int;
+  r_retries : int;
+  r_trace : Trace.event list;
+}
+
 type pool_stats = {
   p_grants : int;
   p_physical : int;
@@ -54,34 +68,56 @@ type pool_stats = {
 
 type report = {
   sessions : session_stats list;
+  repairs : repair_stats list;
   pool : pool_stats;
   events : event list;
 }
 
-(* Internal per-query record.  A query is Queued (no cursor yet: the
+(* Internal per-query payload.  A query is Queued (no cursor yet: the
    plan is chosen at admission), then Active, then Done. *)
 type query = {
-  q_id : id;
-  q_label : string;
   q_table : Table.t;
   q_request : Retrieval.request;
   q_config : Retrieval.config;
   q_limit : int option;
   mutable q_cursor : Retrieval.cursor option;
   mutable q_rows : Row.t list;  (** reversed *)
-  mutable q_quanta : int;
-  mutable q_charged : float;
-  mutable q_queue_wait : int;
-  mutable q_admitted_at : int;
-  mutable q_last_grant : int;  (** tick of the last grant (or admission) *)
-  mutable q_max_gap : int;
   mutable q_summary : Retrieval.summary option;
+}
+
+(* Internal per-repair payload.  The [Repair.t] is created at admission
+   — that is when the index enters [Rebuilding] — mirroring the
+   plan-choice-at-admission rule for queries. *)
+type rjob = {
+  r_rtable : Table.t;
+  r_rindex : string;
+  mutable r_repair : Repair.t option;
+  mutable r_result : bool option;
+}
+
+type work = W_query of query | W_repair of rjob
+
+(* One schedulable unit: the scheduling bookkeeping is shared, the
+   payload differs.  Repairs are admitted, granted quanta, starved and
+   reported exactly like queries — a rebuild is just another session
+   competing for cost. *)
+type job = {
+  j_id : id;
+  j_label : string;
+  j_quota : float option;  (** admission-ordering key *)
+  j_work : work;
+  mutable j_quanta : int;
+  mutable j_charged : float;
+  mutable j_queue_wait : int;
+  mutable j_admitted_at : int;
+  mutable j_last_grant : int;  (** tick of the last grant (or admission) *)
+  mutable j_max_gap : int;
 }
 
 type t = {
   cfg : config;
   db : Database.t;
-  mutable queries : query list;  (** reversed submission order *)
+  mutable jobs : job list;  (** reversed submission order *)
   mutable next_id : int;
   mutable events : event list;  (** reversed *)
   mutable ran : bool;
@@ -90,37 +126,57 @@ type t = {
 let create ?(config = default_config) db =
   if config.max_inflight < 1 then invalid_arg "Session.create: max_inflight < 1";
   if config.quantum <= 0.0 then invalid_arg "Session.create: quantum <= 0";
-  { cfg = config; db; queries = []; next_id = 0; events = []; ran = false }
+  { cfg = config; db; jobs = []; next_id = 0; events = []; ran = false }
 
 let emit t e = if t.cfg.record_events then t.events <- e :: t.events
 
-let submit t ?label ?config ?limit table request =
+let fresh_job t ?label ~default_label ~quota work =
   if t.ran then invalid_arg "Session.submit: scheduler already ran";
   let id = t.next_id in
   t.next_id <- id + 1;
-  let label = match label with Some l -> l | None -> Printf.sprintf "q%d" id in
-  let q =
+  let label = match label with Some l -> l | None -> default_label id in
+  let j =
     {
-      q_id = id;
-      q_label = label;
-      q_table = table;
-      q_request = request;
-      q_config = (match config with Some c -> c | None -> t.cfg.retrieval);
-      q_limit = limit;
-      q_cursor = None;
-      q_rows = [];
-      q_quanta = 0;
-      q_charged = 0.0;
-      q_queue_wait = 0;
-      q_admitted_at = 0;
-      q_last_grant = 0;
-      q_max_gap = 0;
-      q_summary = None;
+      j_id = id;
+      j_label = label;
+      j_quota = quota;
+      j_work = work;
+      j_quanta = 0;
+      j_charged = 0.0;
+      j_queue_wait = 0;
+      j_admitted_at = 0;
+      j_last_grant = 0;
+      j_max_gap = 0;
     }
   in
-  t.queries <- q :: t.queries;
+  t.jobs <- j :: t.jobs;
   emit t (Submitted { id; label });
   id
+
+let submit t ?label ?config ?limit table request =
+  let q_config = match config with Some c -> c | None -> t.cfg.retrieval in
+  fresh_job t ?label
+    ~default_label:(Printf.sprintf "q%d")
+    ~quota:q_config.Retrieval.cost_quota
+    (W_query
+       {
+         q_table = table;
+         q_request = request;
+         q_config;
+         q_limit = limit;
+         q_cursor = None;
+         q_rows = [];
+         q_summary = None;
+       })
+
+let submit_repair t ?label ?quota table ~index =
+  (match Table.find_index table index with
+  | Some _ -> ()
+  | None -> invalid_arg ("Session.submit_repair: unknown index " ^ index));
+  fresh_job t ?label
+    ~default_label:(Printf.sprintf "repair%d")
+    ~quota
+    (W_repair { r_rtable = table; r_rindex = index; r_repair = None; r_result = None })
 
 let degradations (s : Retrieval.summary) =
   List.length
@@ -133,10 +189,8 @@ let degradations (s : Retrieval.summary) =
 
 (* Admission order: smallest declared cost quota first (a bounded query
    may jump an unbounded one), FIFO within a quota class. *)
-let admission_key q =
-  match q.q_config.Retrieval.cost_quota with
-  | Some quota -> (quota, q.q_id)
-  | None -> (infinity, q.q_id)
+let admission_key j =
+  match j.j_quota with Some quota -> (quota, j.j_id) | None -> (infinity, j.j_id)
 
 let pick_admission pending =
   match pending with
@@ -144,49 +198,75 @@ let pick_admission pending =
   | first :: rest ->
       Some
         (List.fold_left
-           (fun best q -> if admission_key q < admission_key best then q else best)
+           (fun best j -> if admission_key j < admission_key best then j else best)
            first rest)
 
-let finished q =
+let query_finished q =
   match q.q_limit with
   | Some n when Option.is_some q.q_cursor ->
       Retrieval.rows_delivered (Option.get q.q_cursor) >= n
   | _ -> false
 
+let job_rows j =
+  match j.j_work with
+  | W_query q -> List.length q.q_rows
+  | W_repair r -> ( match r.r_repair with Some rp -> Repair.entries rp | None -> 0)
+
 let run t =
   if t.ran then invalid_arg "Session.run: scheduler already ran";
   t.ran <- true;
-  let all = List.rev t.queries in
+  let all = List.rev t.jobs in
   let pool = Database.pool t.db in
   let meter0 = Cost.snapshot (Buffer_pool.global_meter pool) in
   let pending = ref all in
   let active = ref [] in
   let tick = ref 0 in
   let max_inflight_seen = ref 0 in
-  let close_query q =
-    (match q.q_cursor with
-    | Some c -> q.q_summary <- Some (Retrieval.close c)
-    | None ->
-        (* never admitted (defensive; cannot happen with max_inflight
-           >= 1): open and close so the report stays total *)
-        let c = Retrieval.open_ ~config:q.q_config q.q_table q.q_request in
-        q.q_summary <- Some (Retrieval.close c));
-    emit t (Finished { id = q.q_id; tick = !tick; rows = List.length q.q_rows })
+  let close_job j =
+    (match j.j_work with
+    | W_query q -> (
+        match q.q_cursor with
+        | Some c -> q.q_summary <- Some (Retrieval.close c)
+        | None ->
+            (* never admitted (defensive; cannot happen with
+               max_inflight >= 1): open and close so the report stays
+               total *)
+            let c = Retrieval.open_ ~config:q.q_config q.q_table q.q_request in
+            q.q_summary <- Some (Retrieval.close c))
+    | W_repair r -> (
+        match r.r_result with
+        | Some _ -> ()
+        | None ->
+            let rp =
+              match r.r_repair with
+              | Some rp -> rp
+              | None ->
+                  let rp = Repair.create r.r_rtable ~index:r.r_rindex in
+                  r.r_repair <- Some rp;
+                  rp
+            in
+            r.r_result <- Some (Repair.run rp)));
+    emit t (Finished { id = j.j_id; tick = !tick; rows = job_rows j })
   in
   let admit () =
     while List.length !active < t.cfg.max_inflight && !pending <> [] do
       match pick_admission !pending with
       | None -> ()
-      | Some q ->
-          pending := List.filter (fun p -> p.q_id <> q.q_id) !pending;
-          q.q_queue_wait <- !tick;
-          q.q_admitted_at <- !tick;
-          q.q_last_grant <- !tick;
+      | Some j ->
+          pending := List.filter (fun p -> p.j_id <> j.j_id) !pending;
+          j.j_queue_wait <- !tick;
+          j.j_admitted_at <- !tick;
+          j.j_last_grant <- !tick;
           (* Plan choice happens here, sequentially: competition state
-             is born inside this cursor and never shared. *)
-          q.q_cursor <- Some (Retrieval.open_ ~config:q.q_config q.q_table q.q_request);
-          emit t (Admitted { id = q.q_id; tick = !tick; waited = !tick });
-          active := !active @ [ q ];
+             is born inside this cursor and never shared.  A repair
+             likewise moves its index to Rebuilding here. *)
+          (match j.j_work with
+          | W_query q ->
+              q.q_cursor <- Some (Retrieval.open_ ~config:q.q_config q.q_table q.q_request)
+          | W_repair r ->
+              r.r_repair <- Some (Repair.create r.r_rtable ~index:r.r_rindex));
+          emit t (Admitted { id = j.j_id; tick = !tick; waited = !tick });
+          active := !active @ [ j ];
           max_inflight_seen := max !max_inflight_seen (List.length !active)
     done
   in
@@ -196,21 +276,21 @@ let run t =
     match !active with
     | [] -> None
     | _ :: _ ->
-        let gap q = !tick - q.q_last_grant in
+        let gap j = !tick - j.j_last_grant in
         let starving =
-          List.filter (fun q -> gap q >= t.cfg.starvation_bound) !active
+          List.filter (fun j -> gap j >= t.cfg.starvation_bound) !active
         in
-        let by_key key qs =
+        let by_key key js =
           List.fold_left
-            (fun best q -> if key q < key best then q else best)
-            (List.hd qs) qs
+            (fun best j -> if key j < key best then j else best)
+            (List.hd js) js
         in
         Some
           (match starving with
-          | [] -> by_key (fun q -> (q.q_charged, q.q_id)) !active
-          | qs -> by_key (fun q -> (-gap q, q.q_id)) qs)
+          | [] -> by_key (fun j -> (j.j_charged, j.j_id)) !active
+          | js -> by_key (fun j -> (-gap j, j.j_id)) js)
   in
-  let grant q =
+  let grant j =
     (match t.cfg.metrics with
     | None -> ()
     | Some m ->
@@ -220,75 +300,138 @@ let run t =
         M.observe
           (M.histogram m "session.queue_depth")
           (float_of_int (List.length !active + List.length !pending)));
-    let cursor = Option.get q.q_cursor in
-    let before = Retrieval.spent cursor in
-    let gap = !tick - q.q_last_grant in
-    q.q_max_gap <- max q.q_max_gap gap;
-    q.q_last_grant <- !tick;
+    let gap = !tick - j.j_last_grant in
+    j.j_max_gap <- max j.j_max_gap gap;
+    j.j_last_grant <- !tick;
     incr tick;
-    q.q_quanta <- q.q_quanta + 1;
+    j.j_quanta <- j.j_quanta + 1;
     let steps = ref 0 in
-    let done_ = ref (finished q) in
-    while
-      (not !done_)
-      && Retrieval.spent cursor -. before < t.cfg.quantum
-      && !steps < t.cfg.max_steps_per_quantum
-    do
-      incr steps;
-      match Retrieval.step cursor with
-      | Retrieval.Step_row (_, row) ->
-          q.q_rows <- row :: q.q_rows;
-          if finished q then done_ := true
-      | Retrieval.Step_working -> ()
-      | Retrieval.Step_done -> done_ := true
-    done;
-    q.q_charged <- q.q_charged +. (Retrieval.spent cursor -. before);
-    if !done_ then begin
-      close_query q;
-      active := List.filter (fun p -> p.q_id <> q.q_id) !active
+    let spent, done_ =
+      match j.j_work with
+      | W_query q ->
+          let cursor = Option.get q.q_cursor in
+          let before = Retrieval.spent cursor in
+          let done_ = ref (query_finished q) in
+          while
+            (not !done_)
+            && Retrieval.spent cursor -. before < t.cfg.quantum
+            && !steps < t.cfg.max_steps_per_quantum
+          do
+            incr steps;
+            match Retrieval.step cursor with
+            | Retrieval.Step_row (_, row) ->
+                q.q_rows <- row :: q.q_rows;
+                if query_finished q then done_ := true
+            | Retrieval.Step_working -> ()
+            | Retrieval.Step_done -> done_ := true
+          done;
+          (Retrieval.spent cursor -. before, !done_)
+      | W_repair r ->
+          let rp = Option.get r.r_repair in
+          let before = Repair.spent rp in
+          let done_ = ref (r.r_result <> None) in
+          while
+            (not !done_)
+            && Repair.spent rp -. before < t.cfg.quantum
+            && !steps < t.cfg.max_steps_per_quantum
+          do
+            incr steps;
+            match Repair.step rp with
+            | `Working -> ()
+            | `Done ok ->
+                r.r_result <- Some ok;
+                done_ := true
+          done;
+          (Repair.spent rp -. before, !done_)
+    in
+    j.j_charged <- j.j_charged +. spent;
+    if done_ then begin
+      close_job j;
+      active := List.filter (fun p -> p.j_id <> j.j_id) !active
     end
   in
   admit ();
   let rec loop () =
     match pick_next () with
-    | Some q ->
-        grant q;
+    | Some j ->
+        grant j;
         admit ();
         loop ()
     | None -> ()
   in
   loop ();
-  (* Queries never admitted (impossible today, but keep the report
-     total) — close them with an opened-then-closed cursor. *)
-  List.iter (fun q -> if q.q_summary = None then close_query q) all;
+  (* Jobs never admitted (impossible today, but keep the report total)
+     — close them with an opened-then-closed cursor / inline repair. *)
+  List.iter
+    (fun j ->
+      let unclosed =
+        match j.j_work with
+        | W_query q -> q.q_summary = None
+        | W_repair r -> r.r_result = None
+      in
+      if unclosed then close_job j)
+    all;
   let meter1 = Buffer_pool.global_meter pool in
   let physical = Cost.physical_reads meter1 - Cost.physical_reads meter0 in
   let logical = Cost.logical_reads meter1 - Cost.logical_reads meter0 in
   let sessions =
-    List.map
-      (fun q ->
-        let summary = Option.get q.q_summary in
-        {
-          s_id = q.q_id;
-          s_label = q.q_label;
-          s_rows = List.length q.q_rows;
-          s_quanta = q.q_quanta;
-          s_charged = q.q_charged;
-          s_queue_wait = q.q_queue_wait;
-          s_max_gap = q.q_max_gap;
-          s_degradations = degradations summary;
-          s_summary = summary;
-        })
+    List.filter_map
+      (fun j ->
+        match j.j_work with
+        | W_repair _ -> None
+        | W_query q ->
+            let summary = Option.get q.q_summary in
+            Some
+              {
+                s_id = j.j_id;
+                s_label = j.j_label;
+                s_rows = List.length q.q_rows;
+                s_quanta = j.j_quanta;
+                s_charged = j.j_charged;
+                s_queue_wait = j.j_queue_wait;
+                s_max_gap = j.j_max_gap;
+                s_degradations = degradations summary;
+                s_summary = summary;
+              })
       all
   in
-  let total_cost = List.fold_left (fun acc s -> acc +. s.s_charged) 0.0 sessions in
+  let repairs =
+    List.filter_map
+      (fun j ->
+        match j.j_work with
+        | W_query _ -> None
+        | W_repair r ->
+            let rp = Option.get r.r_repair in
+            let trace = Trace.events (Repair.trace rp) in
+            Some
+              {
+                r_id = j.j_id;
+                r_label = j.j_label;
+                r_index = r.r_rindex;
+                r_entries = Repair.entries rp;
+                r_ok = (match r.r_result with Some ok -> ok | None -> false);
+                r_quanta = j.j_quanta;
+                r_charged = j.j_charged;
+                r_queue_wait = j.j_queue_wait;
+                r_max_gap = j.j_max_gap;
+                r_retries =
+                  List.length
+                    (List.filter
+                       (function Trace.Fault_retry _ -> true | _ -> false)
+                       trace);
+                r_trace = trace;
+              })
+      all
+  in
+  let total_cost = List.fold_left (fun acc j -> acc +. j.j_charged) 0.0 all in
   (match t.cfg.metrics with
   | None -> ()
   | Some m ->
       let module M = Rdb_util.Metrics in
       M.add (M.counter m "session.grants") !tick;
       M.add (M.counter m "session.queries") (List.length sessions);
-      let max_gap = List.fold_left (fun acc s -> max acc s.s_max_gap) 0 sessions in
+      if repairs <> [] then M.add (M.counter m "session.repairs") (List.length repairs);
+      let max_gap = List.fold_left (fun acc j -> max acc j.j_max_gap) 0 all in
       M.set (M.gauge m "session.max_gap") (float_of_int max_gap);
       (* paper-facing fairness guarantee: how much of the bounded-wait
          budget the worst-treated session actually used up *)
@@ -306,6 +449,7 @@ let run t =
         sessions);
   {
     sessions;
+    repairs;
     pool =
       {
         p_grants = !tick;
@@ -321,9 +465,16 @@ let run t =
   }
 
 let rows_of t id =
-  match List.find_opt (fun q -> q.q_id = id) t.queries with
-  | Some q -> List.rev q.q_rows
+  match List.find_opt (fun j -> j.j_id = id) t.jobs with
+  | Some { j_work = W_query q; _ } -> List.rev q.q_rows
+  | Some { j_work = W_repair _; _ } -> invalid_arg "Session.rows_of: id is a repair"
   | None -> invalid_arg "Session.rows_of: unknown id"
+
+let repair_of t id =
+  match List.find_opt (fun j -> j.j_id = id) t.jobs with
+  | Some { j_work = W_repair r; _ } -> r.r_result
+  | Some { j_work = W_query _; _ } -> invalid_arg "Session.repair_of: id is a query"
+  | None -> invalid_arg "Session.repair_of: unknown id"
 
 let event_to_string = function
   | Submitted { id; label } -> Printf.sprintf "submitted q%d (%s)" id label
@@ -336,14 +487,25 @@ let report_to_string r =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     "session                       rows  quanta  charged  wait  max-gap  degr  tactic / status\n";
-  List.iter
-    (fun s ->
-      Buffer.add_string buf
-        (Printf.sprintf "%-28s %5d %7d %8.1f %5d %8d %5d  %s / %s\n" s.s_label s.s_rows
-           s.s_quanta s.s_charged s.s_queue_wait s.s_max_gap s.s_degradations
-           (Retrieval.tactic_to_string s.s_summary.Retrieval.tactic)
-           (Retrieval.status_to_string s.s_summary.Retrieval.status)))
-    r.sessions;
+  let session_line s =
+    Printf.sprintf "%-28s %5d %7d %8.1f %5d %8d %5d  %s / %s\n" s.s_label s.s_rows
+      s.s_quanta s.s_charged s.s_queue_wait s.s_max_gap s.s_degradations
+      (Retrieval.tactic_to_string s.s_summary.Retrieval.tactic)
+      (Retrieval.status_to_string s.s_summary.Retrieval.status)
+  in
+  let repair_line p =
+    Printf.sprintf "%-28s %5d %7d %8.1f %5d %8d %5d  %s / %s\n" p.r_label p.r_entries
+      p.r_quanta p.r_charged p.r_queue_wait p.r_max_gap p.r_retries
+      ("rebuild " ^ p.r_index)
+      (if p.r_ok then "completed" else "failed")
+  in
+  (* Merge queries and repairs back into submission order. *)
+  let lines =
+    List.map (fun s -> (s.s_id, session_line s)) r.sessions
+    @ List.map (fun p -> (p.r_id, repair_line p)) r.repairs
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter (fun (_, l) -> Buffer.add_string buf l) lines;
   Buffer.add_string buf
     (Printf.sprintf
        "pool: %d grants, %d physical + %d logical reads (hit rate %.3f), total \

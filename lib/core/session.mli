@@ -79,6 +79,20 @@ type session_stats = {
   s_summary : Retrieval.summary;
 }
 
+type repair_stats = {
+  r_id : id;
+  r_label : string;
+  r_index : string;
+  r_entries : int;  (** heap entries copied into the new tree *)
+  r_ok : bool;  (** the rebuilt tree was swapped in *)
+  r_quanta : int;
+  r_charged : float;
+  r_queue_wait : int;
+  r_max_gap : int;
+  r_retries : int;  (** transient-fault retries during the rebuild *)
+  r_trace : Rdb_exec.Trace.event list;
+}
+
 type pool_stats = {
   p_grants : int;  (** total quanta granted *)
   p_physical : int;  (** pool physical reads during the run *)
@@ -90,6 +104,7 @@ type pool_stats = {
 
 type report = {
   sessions : session_stats list;  (** in submission order *)
+  repairs : repair_stats list;  (** in submission order *)
   pool : pool_stats;
   events : event list;  (** empty unless [record_events] *)
 }
@@ -109,13 +124,26 @@ val submit :
 (** Enqueue a query.  Ids are dense, in submission order.  The table
     must share the scheduler's database pool. *)
 
+val submit_repair :
+  t -> ?label:string -> ?quota:float -> Table.t -> index:string -> id
+(** Enqueue an online rebuild of [index] ({!Repair}).  The repair is
+    admitted, granted cost quanta, and reported exactly like a query
+    session — background maintenance competes with foreground work
+    instead of preempting it.  [quota] orders admission only (repairs
+    run to completion regardless).  Ids share the query id space.
+    Raises [Invalid_argument] on an unknown index. *)
+
 val run : t -> report
 (** Drive every submitted query to completion and return the report.
     May be called once; reuse requires a fresh scheduler. *)
 
 val rows_of : t -> id -> Row.t list
 (** Rows the session delivered, in delivery order (valid after
-    {!run}). *)
+    {!run}).  Raises [Invalid_argument] on a repair id. *)
+
+val repair_of : t -> id -> bool option
+(** Outcome of a repair job ([None] before {!run}).  Raises
+    [Invalid_argument] on a query id. *)
 
 val report_to_string : report -> string
 (** Deterministic text rendering: one line per session plus the pool

@@ -1,0 +1,122 @@
+open Rdb_btree
+open Rdb_storage
+
+type index_report = {
+  ir_index : string;
+  ir_entries : int;
+  ir_missing : int;
+  ir_phantom : int;
+  ir_structural : string option;
+  ir_fault : string option;
+}
+
+let clean r =
+  r.ir_missing = 0 && r.ir_phantom = 0 && r.ir_structural = None && r.ir_fault = None
+
+type report = {
+  table : string;
+  heap_rows : int;
+  indexes : index_report list;
+  cost : float;
+}
+
+let damaged rep = List.filter (fun r -> not (clean r)) rep.indexes
+
+(* The expected entry set of an index is a multiset of (key, rid)
+   pairs derived from one heap pass; each index walk then consumes it.
+   Structural hashing is fine: keys are Value.t arrays. *)
+let expected_entries table heap_meter =
+  let idxs = Table.indexes table in
+  let per_index = List.map (fun idx -> (idx, Hashtbl.create 1024)) idxs in
+  let rows = ref 0 in
+  Heap_file.iter (Table.heap table) heap_meter (fun rid row ->
+      incr rows;
+      List.iter
+        (fun ((idx : Table.index), tbl) ->
+          let k = (Table.index_key idx row, rid) in
+          let n = match Hashtbl.find_opt tbl k with Some n -> n | None -> 0 in
+          Hashtbl.replace tbl k (n + 1))
+        per_index);
+  (!rows, per_index)
+
+let check_index meter (idx : Table.index) expected =
+  let entries = ref 0 and phantom = ref 0 and fault = ref None in
+  (try
+     let cursor = Btree.cursor idx.Table.tree meter Btree.full_range in
+     let rec loop () =
+       match Btree.next cursor with
+       | None -> ()
+       | Some (key, rid) ->
+           incr entries;
+           let k = (key, rid) in
+           (match Hashtbl.find_opt expected k with
+           | Some n when n > 1 -> Hashtbl.replace expected k (n - 1)
+           | Some _ -> Hashtbl.remove expected k
+           | None -> incr phantom);
+           loop ()
+     in
+     loop ()
+   with Fault.Injected f -> fault := Some (Fault.describe f));
+  let missing = Hashtbl.fold (fun _ n acc -> acc + n) expected 0 in
+  let structural =
+    match !fault with
+    | Some _ -> None (* unreadable: structure unknowable, fault dominates *)
+    | None -> (
+        try
+          match Btree.self_check idx.Table.tree with
+          | Ok () -> None
+          | Error e -> Some e
+        with Fault.Injected f ->
+          fault := Some (Fault.describe f);
+          None)
+  in
+  {
+    ir_index = idx.Table.idx_name;
+    ir_entries = !entries;
+    ir_missing = missing;
+    ir_phantom = !phantom;
+    ir_structural = structural;
+    ir_fault = !fault;
+  }
+
+let run ?meter table =
+  let meter = match meter with Some m -> m | None -> Cost.create () in
+  let before = Cost.total meter in
+  let heap_rows, per_index = expected_entries table meter in
+  let indexes =
+    List.map (fun (idx, expected) -> check_index meter idx expected) per_index
+  in
+  {
+    table = Table.name table;
+    heap_rows;
+    indexes;
+    cost = Cost.total meter -. before;
+  }
+
+let damage_to_string r =
+  if clean r then "clean"
+  else
+    String.concat "; "
+      (List.filter_map
+         (fun x -> x)
+         [
+           (if r.ir_missing > 0 then Some (Printf.sprintf "%d missing" r.ir_missing)
+            else None);
+           (if r.ir_phantom > 0 then Some (Printf.sprintf "%d phantom" r.ir_phantom)
+            else None);
+           Option.map (fun e -> "structural: " ^ e) r.ir_structural;
+           Option.map (fun f -> "unreadable: " ^ f) r.ir_fault;
+         ])
+
+let index_report_to_string r =
+  Printf.sprintf "%-12s %6d entries  %s" r.ir_index r.ir_entries (damage_to_string r)
+
+let report_to_string rep =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "check %s: %d heap rows, %d indexes, cost %.0f\n" rep.table
+       rep.heap_rows (List.length rep.indexes) rep.cost);
+  List.iter
+    (fun r -> Buffer.add_string b ("  " ^ index_report_to_string r ^ "\n"))
+    rep.indexes;
+  Buffer.contents b

@@ -19,6 +19,7 @@ type t = {
   mutable preferred : string list;
   clustering_cache : (string, float * int) Hashtbl.t;
       (* index -> (factor, row_count at measurement) *)
+  health : Health.t;
 }
 
 let create ?page_bytes pool ~name schema =
@@ -33,6 +34,7 @@ let create ?page_bytes pool ~name schema =
     build = Cost.create ();
     preferred = [];
     clustering_cache = Hashtbl.create 4;
+    health = Health.create ();
   }
 
 let name t = t.name
@@ -175,3 +177,58 @@ let build_meter t = t.build
 let preferred_order t = t.preferred
 
 let set_preferred_order t order = t.preferred <- order
+
+(* --- self-healing support ------------------------------------------- *)
+
+let heap_structure = "heap"
+
+let health t = t.health
+
+(* The health clock: total cost ever charged through this table's pool.
+   Deterministic, monotone, and it advances with actual load — a busy
+   database retries a quarantined index sooner in wall-clock terms but
+   after the same amount of useful work. *)
+let now t = Cost.total (Buffer_pool.global_meter t.pool)
+
+let structure_of_file t file =
+  if file = Heap_file.file_id t.heap then Some heap_structure
+  else
+    List.find_map
+      (fun idx -> if Btree.file_id idx.tree = file then Some idx.idx_name else None)
+      t.indexes
+
+let index_usable t idx = Health.usable t.health ~now:(now t) idx.idx_name
+
+(* Count health transitions in the pool's metrics registry (if one is
+   attached); the trace event is the caller's job. *)
+let note_transition t = function
+  | None -> None
+  | Some tr ->
+      (match Buffer_pool.metrics t.pool with
+      | None -> ()
+      | Some m ->
+          let module M = Rdb_util.Metrics in
+          M.incr (M.counter m "health.transitions");
+          M.incr
+            (M.counter m
+               (M.labeled "health.to_state" (Health.state_to_string tr.Health.tr_to))));
+      Some tr
+
+let invalidate_stats t =
+  Hashtbl.reset t.clustering_cache;
+  t.preferred <- []
+
+let replace_index t ~name:iname tree =
+  match List.find_opt (fun i -> i.idx_name = iname) t.indexes with
+  | None -> invalid_arg ("Table.replace_index: unknown index " ^ iname)
+  | Some old ->
+      Buffer_pool.name_file t.pool ~file:(Btree.file_id tree) ("index:" ^ iname);
+      Buffer_pool.evict_file t.pool (Btree.file_id old.tree);
+      t.indexes <-
+        List.map
+          (fun i -> if i.idx_name = iname then { i with tree } else i)
+          t.indexes;
+      (* A rebuilt index carries a fresh physical layout and fresh
+         descent statistics: drop every cached estimate derived from
+         the old tree so the next initial stage re-seeds them. *)
+      invalidate_stats t

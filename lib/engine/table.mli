@@ -77,3 +77,41 @@ val preferred_order : t -> string list
     empty initially. *)
 
 val set_preferred_order : t -> string list -> unit
+
+(** {1 Self-healing} *)
+
+val heap_structure : string
+(** The health-registry name of the heap ("heap"); indexes register
+    under their index names. *)
+
+val health : t -> Health.t
+(** The table's per-structure health registry.  Consult it with
+    {!now} as the clock. *)
+
+val now : t -> float
+(** The health clock: total cost ever charged through this table's
+    pool (deterministic; no wall time). *)
+
+val structure_of_file : t -> int -> string option
+(** Map a pool file id to the structure it backs — [heap_structure]
+    for the heap file, the index name for an index tree file; [None]
+    for files this table does not own (spill space, other tables). *)
+
+val index_usable : t -> index -> bool
+(** [Health.usable] on the index at {!now}: quarantined-in-backoff and
+    rebuilding indexes must not be planned with. *)
+
+val note_transition : t -> Health.transition option -> Health.transition option
+(** Pass-through that counts the transition in the pool's metrics
+    registry (when attached).  Callers emit the trace event. *)
+
+val invalidate_stats : t -> unit
+(** Drop the clustering cache and the adaptive preferred order — the
+    estimation re-seed after a structural change. *)
+
+val replace_index : t -> name:string -> Btree.t -> unit
+(** Atomically swap in a rebuilt tree for the named index: the new
+    file takes over the index's pool label, the old file's resident
+    blocks are evicted, and cached estimation state is invalidated
+    ({!invalidate_stats}).  Raises [Invalid_argument] on an unknown
+    name. *)

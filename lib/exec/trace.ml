@@ -30,6 +30,10 @@ type event =
       (** the phase closed after charging [cost] units and delivering
           [rows] rows — the per-node "actual" that EXPLAIN ANALYZE
           prints next to the estimates *)
+  | Health_transition of { structure : string; from_ : string; to_ : string; reason : string }
+      (** a storage structure moved through the health-state machine *)
+  | Repair_started of { index : string }
+  | Repair_done of { index : string; entries : int; cost : float; ok : bool }
 
 type t = event Dynarray.t
 
@@ -77,6 +81,13 @@ let event_to_string = function
   | Span_begin { span } -> Printf.sprintf "span %s begin" span
   | Span_end { span; cost; rows } ->
       Printf.sprintf "span %s end (cost %.2f, rows %d)" span cost rows
+  | Health_transition { structure; from_; to_; reason } ->
+      Printf.sprintf "health %s: %s -> %s (%s)" structure from_ to_ reason
+  | Repair_started { index } -> Printf.sprintf "repair of %s started" index
+  | Repair_done { index; entries; cost; ok } ->
+      Printf.sprintf "repair of %s %s: %d entries, cost %.2f" index
+        (if ok then "done" else "FAILED")
+        entries cost
 
 let pp fmt t =
   Dynarray.iter (fun e -> Format.fprintf fmt "%s@." (event_to_string e)) t

@@ -45,6 +45,14 @@ type event =
       (** the phase closed after charging [cost] units and delivering
           [rows] rows — the per-node "actual" that EXPLAIN ANALYZE
           prints next to the estimates *)
+  | Health_transition of { structure : string; from_ : string; to_ : string; reason : string }
+      (** a storage structure moved through the self-healing state
+          machine (states rendered as strings to keep exec below
+          engine-level types) *)
+  | Repair_started of { index : string }
+      (** an online index rebuild was admitted *)
+  | Repair_done of { index : string; entries : int; cost : float; ok : bool }
+      (** the rebuild finished: [ok] means the new tree was swapped in *)
 
 type t
 

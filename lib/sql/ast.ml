@@ -53,6 +53,11 @@ type statement =
       assignments : (string * operand) list;
       where : cond option;
     }
+  | Check_table of string
+      (** CHECK TABLE t: cross-validate every index against the heap *)
+  | Repair_table of { table : string; index : string option }
+      (** REPAIR TABLE t (every damaged index) or REPAIR INDEX i ON t:
+          online rebuild through the session scheduler *)
 
 let agg_name = function
   | Count_star -> "COUNT(*)"
@@ -170,3 +175,7 @@ let statement_to_string = function
         (String.concat ", "
            (List.map (fun (c, o) -> c ^ " = " ^ operand_to_string o) assignments))
         (match where with Some c -> " WHERE " ^ cond_to_string c | None -> "")
+  | Check_table t -> "CHECK TABLE " ^ t
+  | Repair_table { table; index = None } -> "REPAIR TABLE " ^ table
+  | Repair_table { table; index = Some i } ->
+      Printf.sprintf "REPAIR INDEX %s ON %s" i table

@@ -62,6 +62,11 @@ type statement =
       assignments : (string * operand) list;
       where : cond option;
     }
+  | Check_table of string
+      (** CHECK TABLE t: cross-validate every index against the heap *)
+  | Repair_table of { table : string; index : string option }
+      (** REPAIR TABLE t (every damaged index) or REPAIR INDEX i ON t:
+          online rebuild through the session scheduler *)
 
 val agg_name : agg -> string
 

@@ -2,6 +2,7 @@ open Rdb_data
 open Rdb_engine
 module Goal = Rdb_core.Goal
 module Retrieval = Rdb_core.Retrieval
+module Session = Rdb_core.Session
 
 type result = {
   columns : string list;
@@ -558,6 +559,8 @@ let execute_dml ?(env = []) ?config db stmt =
         | Ast.Create_table _ -> "CREATE TABLE"
         | Ast.Create_index _ -> "CREATE INDEX"
         | Ast.Insert _ -> "INSERT"
+        | Ast.Check_table _ -> "CHECK TABLE"
+        | Ast.Repair_table _ -> "REPAIR"
         | Ast.Delete _ | Ast.Update _ -> "DML (unreachable)")
 
 let header_of db sel =
@@ -702,6 +705,116 @@ let execute ?(env = []) ?config db stmt =
         summaries = [];
         message = Some (Printf.sprintf "%d row(s) inserted into %s" (List.length rows) into);
       }
+  | Ast.Check_table name ->
+      let table =
+        match Database.find_table db name with
+        | Some t -> t
+        | None -> fail "no such table: %s" name
+      in
+      let rep =
+        try Check.run table
+        with Rdb_storage.Fault.Injected f ->
+          fail "CHECK %s aborted: heap unreadable (%s)" name (Rdb_storage.Fault.describe f)
+      in
+      let health = Table.health table in
+      let rows =
+        List.map
+          (fun (r : Check.index_report) ->
+            [
+              Value.str r.Check.ir_index;
+              Value.int r.Check.ir_entries;
+              Value.int r.Check.ir_missing;
+              Value.int r.Check.ir_phantom;
+              Value.str (Check.damage_to_string r);
+              Value.str (Health.state_to_string (Health.state health r.Check.ir_index));
+            ])
+          rep.Check.indexes
+      in
+      let n_clean = List.length (List.filter Check.clean rep.Check.indexes) in
+      {
+        columns = [ "index"; "entries"; "missing"; "phantom"; "status"; "health" ];
+        rows;
+        summaries = [];
+        message =
+          Some
+            (Printf.sprintf "checked %s: %d heap rows, %d/%d indexes clean (cost %.0f)"
+               name rep.Check.heap_rows n_clean
+               (List.length rep.Check.indexes)
+               rep.Check.cost);
+      }
+  | Ast.Repair_table { table = tname; index } ->
+      let table =
+        match Database.find_table db tname with
+        | Some t -> t
+        | None -> fail "no such table: %s" tname
+      in
+      let targets =
+        match index with
+        | Some i -> (
+            match Table.find_index table i with
+            | Some _ -> [ i ]
+            | None -> fail "no such index: %s on %s" i tname)
+        | None ->
+            (* Every index that is unhealthy or fails the consistency
+               check — REPAIR TABLE is "check, then fix what is
+               broken". *)
+            let health = Table.health table in
+            let unhealthy =
+              List.filter_map
+                (fun idx ->
+                  if Health.state health idx.Table.idx_name <> Health.Healthy then
+                    Some idx.Table.idx_name
+                  else None)
+                (Table.indexes table)
+            in
+            let damaged =
+              try
+                List.map
+                  (fun (r : Check.index_report) -> r.Check.ir_index)
+                  (Check.damaged (Check.run table))
+              with Rdb_storage.Fault.Injected f ->
+                fail "REPAIR %s aborted: heap unreadable (%s)" tname
+                  (Rdb_storage.Fault.describe f)
+            in
+            List.sort_uniq compare (unhealthy @ damaged)
+      in
+      if targets = [] then
+        {
+          columns = [];
+          rows = [];
+          summaries = [];
+          message = Some (tname ^ ": nothing to repair");
+        }
+      else begin
+        (* One repair session per index, admitted through the scheduler
+           — the same path background repair takes under concurrent
+           load, so SQL REPAIR and chaos-time repair cannot diverge. *)
+        let sched = Session.create db in
+        List.iter
+          (fun i -> ignore (Session.submit_repair sched ~label:("repair:" ^ i) table ~index:i))
+          targets;
+        let report = Session.run sched in
+        let rows =
+          List.map
+            (fun (p : Session.repair_stats) ->
+              [
+                Value.str p.Session.r_index;
+                Value.int p.Session.r_entries;
+                Value.str (if p.Session.r_ok then "rebuilt" else "failed");
+              ])
+            report.Session.repairs
+        in
+        let ok = List.length (List.filter (fun p -> p.Session.r_ok) report.Session.repairs) in
+        {
+          columns = [ "index"; "entries"; "result" ];
+          rows;
+          summaries = [];
+          message =
+            Some
+              (Printf.sprintf "repaired %d/%d index(es) on %s" ok (List.length targets)
+                 tname);
+        }
+      end
 
 let execute_sql ?env ?config db src = execute ?env ?config db (Parser.parse_statement src)
 

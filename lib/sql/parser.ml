@@ -45,7 +45,8 @@ let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "BETWEEN"; "IN"; "LIKE"; "IS";
     "NULL"; "ORDER"; "BY"; "LIMIT"; "TO"; "ROWS"; "OPTIMIZE"; "FOR"; "FAST"; "FIRST";
     "TOTAL"; "TIME"; "DISTINCT"; "EXISTS"; "VALUES"; "INSERT"; "INTO"; "CREATE";
-    "TABLE"; "INDEX"; "ON"; "EXPLAIN"; "ANALYZE"; "DELETE"; "UPDATE"; "SET" ]
+    "TABLE"; "INDEX"; "ON"; "EXPLAIN"; "ANALYZE"; "DELETE"; "UPDATE"; "SET";
+    "CHECK"; "REPAIR" ]
 
 let column st =
   let name = ident st in
@@ -379,6 +380,22 @@ let parse_statement_state st =
       let assignments = assignments [] in
       let where = if accept_kw st "WHERE" then Some (parse_cond st) else None in
       Ast.Update { table; assignments; where }
+  | Lexer.Ident "CHECK" ->
+      advance st;
+      expect_kw st "TABLE";
+      Ast.Check_table (ident st)
+  | Lexer.Ident "REPAIR" -> (
+      advance st;
+      match peek st with
+      | Lexer.Ident "TABLE" ->
+          advance st;
+          Ast.Repair_table { table = ident st; index = None }
+      | Lexer.Ident "INDEX" ->
+          advance st;
+          let index = ident st in
+          expect_kw st "ON";
+          Ast.Repair_table { table = ident st; index = Some index }
+      | t -> fail "expected TABLE or INDEX after REPAIR, got %s" (Lexer.token_to_string t))
   | t -> fail "expected a statement, got %s" (Lexer.token_to_string t)
 
 let finish st v =

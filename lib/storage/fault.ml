@@ -20,6 +20,7 @@ type plan = {
   persistent_files : int list;
   corrupt_blocks : (int * int) list;
   spill_write_budget : int option;
+  fail_at_access : (int * int) list;
 }
 
 let null_plan =
@@ -31,13 +32,17 @@ let null_plan =
     persistent_files = [];
     corrupt_blocks = [];
     spill_write_budget = None;
+    fail_at_access = [];
   }
 
 let plan ?(transient_read_rate = 0.0) ?(transient_classes = [ Heap; Index; Spill ])
     ?transient_files ?(persistent_files = []) ?(corrupt_blocks = [])
-    ?spill_write_budget ~seed () =
+    ?spill_write_budget ?(fail_at_access = []) ~seed () =
   if transient_read_rate < 0.0 || transient_read_rate > 1.0 then
     invalid_arg "Fault.plan: transient_read_rate outside [0,1]";
+  List.iter
+    (fun (_, n) -> if n < 1 then invalid_arg "Fault.plan: fail_at_access counts from 1")
+    fail_at_access;
   {
     seed;
     transient_read_rate;
@@ -46,6 +51,7 @@ let plan ?(transient_read_rate = 0.0) ?(transient_classes = [ Heap; Index; Spill
     persistent_files;
     corrupt_blocks;
     spill_write_budget;
+    fail_at_access;
   }
 
 type t = {
@@ -53,6 +59,7 @@ type t = {
   prng : Prng.t;
   mutable corrupt_pending : (int * int) list;
   mutable spill_writes : int;
+  read_counts : (int, int) Hashtbl.t;  (* file -> read accesses so far *)
   mutable n_transient : int;
   mutable n_persistent : int;
   mutable n_corrupt : int;
@@ -65,6 +72,7 @@ let create plan =
     prng = Prng.create ~seed:plan.seed;
     corrupt_pending = plan.corrupt_blocks;
     spill_writes = 0;
+    read_counts = Hashtbl.create 8;
     n_transient = 0;
     n_persistent = 0;
     n_corrupt = 0;
@@ -82,7 +90,21 @@ let transient_scope t ~cls ~file =
      | None -> true
      | Some files -> List.mem file files
 
+let read_accesses t ~file =
+  match Hashtbl.find_opt t.read_counts file with Some n -> n | None -> 0
+
 let on_read t ~cls ~file ~index ~hit =
+  if t.plan.fail_at_access <> [] then begin
+    (* The schedule counts *every* read access (hit or miss), so the
+       firing point does not depend on cache residency: "the Nth access
+       to file f" means the same access in every run. *)
+    let n = read_accesses t ~file + 1 in
+    Hashtbl.replace t.read_counts file n;
+    if List.mem (file, n) t.plan.fail_at_access then begin
+      t.n_transient <- t.n_transient + 1;
+      raise (Injected { file; index; class_ = cls; kind = Transient })
+    end
+  end;
   if persistent t ~file then begin
     t.n_persistent <- t.n_persistent + 1;
     raise (Injected { file; index; class_ = cls; kind = Persistent })

@@ -49,6 +49,14 @@ type plan = {
   persistent_files : int list;
   corrupt_blocks : (int * int) list;  (** (file, index) pairs *)
   spill_write_budget : int option;  (** max spill block writes *)
+  fail_at_access : (int * int) list;
+      (** deterministic schedule: [(f, n)] fires a transient read fault
+          on exactly the [n]-th read access (1-based, hits and misses
+          both counted) to file [f] — lets tests place a fault at a
+          precise point instead of tuning probabilities.  To force a
+          retry-exhaustion escalation, schedule [retry_limit + 1]
+          consecutive access numbers: each retry re-accesses the file
+          and advances the counter. *)
 }
 
 val null_plan : plan
@@ -61,11 +69,14 @@ val plan :
   ?persistent_files:int list ->
   ?corrupt_blocks:(int * int) list ->
   ?spill_write_budget:int ->
+  ?fail_at_access:(int * int) list ->
   seed:int ->
   unit ->
   plan
 (** Defaults: rate 0.0, classes [[Heap; Index; Spill]], all files, no
-    persistent files, no corruption, unlimited spill. *)
+    persistent files, no corruption, unlimited spill, no scheduled
+    faults.  Raises [Invalid_argument] on a rate outside [0,1] or a
+    scheduled access number below 1. *)
 
 type t
 
@@ -96,6 +107,11 @@ val take_corruption : t -> file:int -> index:int -> bool
 val is_transient : failure -> bool
 
 (** {1 Stats} — cumulative injected-fault counters, for benches. *)
+
+val read_accesses : t -> file:int -> int
+(** Read accesses observed on [file] so far.  Counted only while the
+    plan carries a [fail_at_access] schedule (the counter exists for
+    the schedule); 0 otherwise. *)
 
 val injected_transient : t -> int
 val injected_persistent : t -> int

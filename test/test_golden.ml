@@ -144,6 +144,137 @@ let fault_trace_output () =
     (Fault.plan ~persistent_files:[ y_file ] ~seed:8 ());
   Buffer.contents buf
 
+(* --- CHECK / REPAIR / .health surfaces ------------------------------- *)
+
+(* The rdbsh-facing self-healing surfaces: CHECK TABLE's damage
+   classification, the .health registry report, and REPAIR TABLE's
+   rebuild summary, across a damage/repair cycle. *)
+let build_xy db =
+  let schema =
+    Schema.make
+      [
+        Schema.col "ID" Value.T_int;
+        Schema.col "X" Value.T_int;
+        Schema.col "Y" Value.T_int;
+      ]
+  in
+  let table = Database.create_table db ~page_bytes:1024 ~name:"T" schema in
+  let rng = Rdb_util.Prng.create ~seed:41 in
+  for i = 0 to 1999 do
+    ignore
+      (Table.insert table
+         [|
+           Value.int i;
+           Value.int (Rdb_util.Prng.int rng 100);
+           Value.int (Rdb_util.Prng.int rng 1000);
+         |])
+  done;
+  ignore (Table.create_index table ~name:"X_IDX" ~columns:[ "X" ] ());
+  ignore (Table.create_index table ~name:"Y_IDX" ~columns:[ "Y" ] ());
+  table
+
+let xy_pred =
+  let open Predicate in
+  And [ "X" <% Value.int 30; "Y" <% Value.int 300 ]
+
+let check_repair_output () =
+  let db = Database.create ~pool_capacity:256 () in
+  let table = build_xy db in
+  let pool = Database.pool db in
+  let buf = Buffer.create 1024 in
+  let render sql =
+    Buffer.add_string buf ("> " ^ sql ^ "\n");
+    let r = Executor.execute_sql db sql in
+    if r.Executor.columns <> [] then begin
+      Buffer.add_string buf (String.concat " | " r.Executor.columns ^ "\n");
+      List.iter
+        (fun row ->
+          Buffer.add_string buf
+            (String.concat " | " (List.map Value.to_string row) ^ "\n"))
+        r.Executor.rows
+    end;
+    (match r.Executor.message with
+    | Some m -> Buffer.add_string buf (m ^ "\n")
+    | None -> ());
+    Buffer.add_char buf '\n'
+  in
+  let health_report () =
+    Buffer.add_string buf ".health\n";
+    (match Health.report (Table.health table) ~now:(Table.now table) with
+    | [] -> Buffer.add_string buf "  all structures healthy (nothing reported)\n"
+    | l ->
+        List.iter
+          (fun st -> Buffer.add_string buf ("  " ^ Health.status_to_string st ^ "\n"))
+          l);
+    Buffer.add_char buf '\n'
+  in
+  Buffer_pool.flush pool;
+  render "CHECK TABLE T";
+  (* kill X_IDX's file; the next query quarantines it at planning *)
+  let x_file = Btree.file_id (Option.get (Table.find_index table "X_IDX")).Table.tree in
+  Buffer_pool.flush pool;
+  Buffer_pool.set_injector pool
+    (Some (Fault.create (Fault.plan ~persistent_files:[ x_file ] ~seed:8 ())));
+  ignore (R.run table (R.request ~explicit_goal:Goal.Total_time xy_pred));
+  Buffer_pool.flush pool;
+  render "CHECK TABLE T";
+  health_report ();
+  render "REPAIR TABLE T";
+  Buffer_pool.set_injector pool None;
+  Buffer_pool.flush pool;
+  render "CHECK TABLE T";
+  health_report ();
+  Buffer.contents buf
+
+(* --- repair trace through the scheduler ------------------------------ *)
+
+let repair_trace_output () =
+  let db = Database.create ~pool_capacity:256 () in
+  let table = build_xy db in
+  let pool = Database.pool db in
+  let buf = Buffer.create 1024 in
+  let x_file = Btree.file_id (Option.get (Table.find_index table "X_IDX")).Table.tree in
+  Buffer_pool.flush pool;
+  Buffer_pool.set_injector pool
+    (Some (Fault.create (Fault.plan ~persistent_files:[ x_file ] ~seed:8 ())));
+  ignore (R.run table (R.request ~explicit_goal:Goal.Total_time xy_pred));
+  (* rebuild online while the fault is still live (the new tree is a
+     fresh file) and a foreground query competes for quanta *)
+  Buffer_pool.flush pool;
+  let sched =
+    S.create
+      ~config:
+        {
+          S.default_config with
+          S.max_inflight = 2;
+          S.quantum = 25.0;
+          S.record_events = true;
+        }
+      db
+  in
+  ignore
+    (S.submit sched ~label:"fg" table
+       (R.request ~explicit_goal:Goal.Total_time xy_pred));
+  ignore (S.submit_repair sched ~label:"repair:X_IDX" table ~index:"X_IDX");
+  let rep = S.run sched in
+  Buffer_pool.set_injector pool None;
+  List.iter
+    (fun (r : S.repair_stats) ->
+      Buffer.add_string buf (Printf.sprintf "== %s ==\n" r.S.r_label);
+      List.iter
+        (fun e -> Buffer.add_string buf ("  " ^ Rdb_exec.Trace.event_to_string e ^ "\n"))
+        r.S.r_trace;
+      Buffer.add_string buf
+        (Printf.sprintf "  %d entries, ok %b\n" r.S.r_entries r.S.r_ok))
+    rep.S.repairs;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (S.report_to_string rep);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun st -> Buffer.add_string buf (Health.status_to_string st ^ "\n"))
+    (Health.report (Table.health table) ~now:(Table.now table));
+  Buffer.contents buf
+
 (* --- scheduler report ------------------------------------------------ *)
 
 let scheduler_report_output () =
@@ -178,5 +309,9 @@ let () =
               check_golden "fault_trace" (fault_trace_output ()));
           Alcotest.test_case "scheduler report" `Quick (fun () ->
               check_golden "scheduler_report" (scheduler_report_output ()));
+          Alcotest.test_case "check / repair / .health output" `Quick (fun () ->
+              check_golden "check_repair" (check_repair_output ()));
+          Alcotest.test_case "repair trace" `Quick (fun () ->
+              check_golden "repair_trace" (repair_trace_output ()));
         ] );
     ]

@@ -1,0 +1,306 @@
+(* Self-healing storage: the health-state machine's transition table,
+   the deterministic fail_at_access schedule, the quarantine-backoff
+   contract (no access to a quarantined structure until its re-probe is
+   due, then exactly one probe), and the observation-equivalence of
+   online repair (corrupt -> quarantine -> rebuild -> re-query returns
+   the pristine heap-multiset rows). *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_storage
+module Btree = Rdb_btree.Btree
+module R = Rdb_core.Retrieval
+module S = Rdb_core.Session
+module Trace = Rdb_exec.Trace
+
+let check = Alcotest.(check bool)
+
+let schema =
+  Schema.make
+    [
+      Schema.col "ID" Value.T_int;
+      Schema.col "X" Value.T_int;
+      Schema.col "Y" Value.T_int;
+      Schema.col "S" Value.T_str;
+    ]
+
+let make_fixture ?(rows = 3000) ?(seed = 23) () =
+  let db = Database.create ~pool_capacity:128 () in
+  let table = Database.create_table db ~page_bytes:1024 ~name:"T" schema in
+  let rng = Rdb_util.Prng.create ~seed in
+  for i = 0 to rows - 1 do
+    ignore
+      (Table.insert table
+         [|
+           Value.int i;
+           Value.int (Rdb_util.Prng.int rng 100);
+           Value.int (Rdb_util.Prng.int rng 1000);
+           Value.str (Printf.sprintf "s%05d" i);
+         |])
+  done;
+  ignore (Table.create_index table ~name:"X_IDX" ~columns:[ "X" ] ());
+  ignore (Table.create_index table ~name:"Y_IDX" ~columns:[ "Y" ] ());
+  (db, table)
+
+let pred x_hi y_hi =
+  let open Predicate in
+  And [ "X" <% Value.int x_hi; "Y" <% Value.int y_hi ]
+
+let multiset rows =
+  List.sort compare (List.map (fun r -> Value.to_string (Row.get r 0)) rows)
+
+let heap_oracle table p =
+  let m = Cost.create () in
+  let out = ref [] in
+  Heap_file.iter (Table.heap table) m (fun _ row ->
+      if Predicate.eval p (Table.schema table) row then out := row :: !out);
+  multiset !out
+
+let index_file table name =
+  Btree.file_id (Option.get (Table.find_index table name)).Table.tree
+
+(* --- the state machine itself --------------------------------------- *)
+
+let test_machine () =
+  let t = Health.create () in
+  (* defaults: threshold 2, budget 400, factor 2 *)
+  check "unknown structure is healthy" true (Health.state t "I" = Health.Healthy);
+  check "unknown structure is usable" true (Health.usable t ~now:0.0 "I");
+  (match Health.record_corrupt t ~now:0.0 "I" with
+  | Some tr -> check "first mismatch suspects" true (tr.Health.tr_to = Health.Suspect)
+  | None -> Alcotest.fail "first corrupt produced no transition");
+  check "suspect still usable" true (Health.usable t ~now:0.0 "I");
+  (match Health.record_corrupt t ~now:10.0 "I" with
+  | Some tr ->
+      check "threshold quarantines" true (tr.Health.tr_to = Health.Quarantined)
+  | None -> Alcotest.fail "threshold corrupt produced no transition");
+  check "quarantined not usable before due" true
+    (not (Health.usable t ~now:100.0 "I"));
+  check "probe not due early" true (not (Health.probe_due t ~now:100.0 "I"));
+  check "probe due after budget" true (Health.probe_due t ~now:410.0 "I");
+  check "usable exactly when probe due" true (Health.usable t ~now:410.0 "I");
+  (* failed probe escalates: budget 400 -> 800, due moves out *)
+  check "failed probe is stateless" true (Health.record_dead t ~now:500.0 "I" = None);
+  check "escalated backoff holds" true (not (Health.usable t ~now:1299.0 "I"));
+  check "escalated backoff elapses" true (Health.usable t ~now:1300.0 "I");
+  (match Health.mark_healthy t "I" with
+  | Some tr -> check "probe success heals" true (tr.Health.tr_to = Health.Healthy)
+  | None -> Alcotest.fail "mark_healthy produced no transition");
+  (* rebuild lifecycle: any -> Rebuilding (unusable) -> Healthy on ok *)
+  ignore (Health.record_dead t ~now:0.0 "I");
+  ignore (Health.begin_rebuild t "I");
+  check "rebuilding is unusable even past due" true
+    (not (Health.usable t ~now:1.0e9 "I"));
+  (match Health.end_rebuild t ~now:100.0 ~ok:true "I" with
+  | Some tr -> check "rebuild ok heals" true (tr.Health.tr_to = Health.Healthy)
+  | None -> Alcotest.fail "end_rebuild ok produced no transition");
+  (* failed rebuild re-quarantines with the backoff escalated (800) *)
+  ignore (Health.record_dead t ~now:0.0 "I");
+  ignore (Health.begin_rebuild t "I");
+  (match Health.end_rebuild t ~now:2000.0 ~ok:false "I" with
+  | Some tr ->
+      check "rebuild failure quarantines" true (tr.Health.tr_to = Health.Quarantined)
+  | None -> Alcotest.fail "end_rebuild failure produced no transition");
+  check "failed rebuild escalated the backoff" true
+    ((not (Health.usable t ~now:2799.0 "I")) && Health.usable t ~now:2800.0 "I");
+  match Health.report t ~now:2000.0 with
+  | [ s ] ->
+      check "report shows quarantine with a countdown" true
+        (s.Health.structure = "I"
+        && s.Health.st = Health.Quarantined
+        && s.Health.probe_in = Some 800.0
+        && s.Health.transitions > 0)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 status, got %d" (List.length l))
+
+(* --- deterministic fail_at_access schedule --------------------------- *)
+
+let test_fail_at_access () =
+  let db, table = make_fixture () in
+  let pool = Database.pool db in
+  let heap_file = Heap_file.file_id (Table.heap table) in
+  let run () =
+    Buffer_pool.flush pool;
+    let inj = Fault.create (Fault.plan ~fail_at_access:[ (heap_file, 7) ] ~seed:3 ()) in
+    Buffer_pool.set_injector pool (Some inj);
+    let rows, s = R.run table (R.request (pred 25 450)) in
+    Buffer_pool.set_injector pool None;
+    (rows, s, inj)
+  in
+  let rows_a, s_a, inj_a = run () in
+  let rows_b, s_b, inj_b = run () in
+  let retries s =
+    List.length
+      (List.filter (function Trace.Fault_retry _ -> true | _ -> false) s.R.trace)
+  in
+  check "scheduled fault fired exactly once per run" true
+    (Fault.injected_transient inj_a = 1 && Fault.injected_transient inj_b = 1);
+  check "the schedule's access counter is live" true
+    (Fault.read_accesses inj_a ~file:heap_file >= 7);
+  check "both runs recover through a retry" true
+    (retries s_a >= 1 && retries s_a = retries s_b);
+  check "rows identical across runs" true (multiset rows_a = multiset rows_b);
+  check "costs identical across runs" true (s_a.R.total_cost = s_b.R.total_cost);
+  check "both runs complete" true
+    (s_a.R.status = R.Completed && s_b.R.status = R.Completed)
+
+(* --- quarantine backoff: never touched until due --------------------- *)
+
+let quarantine_x table pool x_file p =
+  Buffer_pool.flush pool;
+  Buffer_pool.set_injector pool
+    (Some (Fault.create (Fault.plan ~persistent_files:[ x_file ] ~seed:5 ())));
+  let rows, _ = R.run table (R.request p) in
+  Buffer_pool.set_injector pool None;
+  rows
+
+let mentions_index name = function
+  | Trace.Estimated { index; _ }
+  | Trace.Scan_started { index; _ }
+  | Trace.Index_quarantined { index; _ } ->
+      index = name
+  | _ -> false
+
+let test_backoff_no_touch () =
+  let db, table = make_fixture () in
+  let pool = Database.pool db in
+  let p = pred 25 450 in
+  let oracle = heap_oracle table p in
+  (* an effectively infinite backoff: the quarantine never becomes due *)
+  Health.configure (Table.health table)
+    { Health.default_config with Health.backoff_budget = 1.0e9 };
+  let x_file = index_file table "X_IDX" in
+  let rows1 = quarantine_x table pool x_file p in
+  check "damage query still answers" true (multiset rows1 = oracle);
+  check "X_IDX quarantined" true
+    (Health.state (Table.health table) "X_IDX" = Health.Quarantined);
+  (* During backoff the quarantined index must not be probed: the
+     injector counts every read access to its file (the scheduled fault
+     itself is unreachable), and the persistent fault would fire loudly
+     on any slip. *)
+  Buffer_pool.flush pool;
+  let inj =
+    Fault.create
+      (Fault.plan ~persistent_files:[ x_file ]
+         ~fail_at_access:[ (x_file, 1_000_000) ]
+         ~seed:6 ())
+  in
+  Buffer_pool.set_injector pool (Some inj);
+  let rows2, s2 = R.run table (R.request p) in
+  Buffer_pool.set_injector pool None;
+  check "no access to the quarantined index during backoff" true
+    (Fault.read_accesses inj ~file:x_file = 0);
+  check "no planning events mention the quarantined index" true
+    (not (List.exists (mentions_index "X_IDX") s2.R.trace));
+  check "degraded query still answers" true
+    (multiset rows2 = oracle && s2.R.status = R.Completed)
+
+let test_backoff_reprobe () =
+  let db, table = make_fixture () in
+  let pool = Database.pool db in
+  let p = pred 25 450 in
+  let oracle = heap_oracle table p in
+  (* a tiny backoff: the next query is already past due *)
+  Health.configure (Table.health table)
+    { Health.default_config with Health.backoff_budget = 1.0 };
+  let x_file = index_file table "X_IDX" in
+  ignore (quarantine_x table pool x_file p);
+  check "X_IDX quarantined" true
+    (Health.state (Table.health table) "X_IDX" = Health.Quarantined);
+  (* probe due, structure still dead: the probe touches the file, the
+     fault escalates the backoff, the query still answers *)
+  Buffer_pool.flush pool;
+  let inj =
+    Fault.create
+      (Fault.plan ~persistent_files:[ x_file ]
+         ~fail_at_access:[ (x_file, 1_000_000) ]
+         ~seed:7 ())
+  in
+  Buffer_pool.set_injector pool (Some inj);
+  let rows2, _ = R.run table (R.request p) in
+  Buffer_pool.set_injector pool None;
+  check "due probe touched the dead index" true
+    (Fault.read_accesses inj ~file:x_file > 0);
+  check "failed probe keeps it quarantined" true
+    (Health.state (Table.health table) "X_IDX" = Health.Quarantined);
+  check "query under failed probe still answers" true (multiset rows2 = oracle);
+  (* fault cleared: the next due probe succeeds and heals the index *)
+  Buffer_pool.flush pool;
+  let rows3, s3 = R.run table (R.request p) in
+  check "successful probe heals" true
+    (Health.state (Table.health table) "X_IDX" = Health.Healthy);
+  check "recovery transition traced" true
+    (List.exists
+       (function
+         | Trace.Health_transition { to_ = "healthy"; _ } -> true | _ -> false)
+       s3.R.trace);
+  check "healed query answers" true (multiset rows3 = oracle)
+
+(* --- repair is observation-equivalent -------------------------------- *)
+
+let prop_repair_equiv =
+  QCheck.Test.make
+    ~name:"repair is observation-equivalent (rebuild restores pristine rows)"
+    ~count:6
+    QCheck.(triple (int_bound 1000) (int_range 5 95) (int_range 50 950))
+    (fun (seed, x_hi, y_hi) ->
+      let victim = if seed mod 2 = 0 then "X_IDX" else "Y_IDX" in
+      let db, table = make_fixture ~rows:2000 ~seed:(31 + seed) () in
+      let pool = Database.pool db in
+      let p = pred x_hi y_hi in
+      let oracle = heap_oracle table p in
+      Buffer_pool.flush pool;
+      let pristine, _ = R.run table (R.request p) in
+      let vfile = index_file table victim in
+      (* kill the victim's file; quarantine may land at planning or at
+         the scan's fault boundary, so allow a few queries *)
+      Buffer_pool.set_injector pool
+        (Some (Fault.create (Fault.plan ~persistent_files:[ vfile ] ~seed:11 ())));
+      let damaged_rows = ref [] in
+      let attempts = ref 0 in
+      while
+        Health.state (Table.health table) victim <> Health.Quarantined
+        && !attempts < 3
+      do
+        incr attempts;
+        Buffer_pool.flush pool;
+        let rows, _ = R.run table (R.request p) in
+        damaged_rows := rows :: !damaged_rows
+      done;
+      let quarantined =
+        Health.state (Table.health table) victim = Health.Quarantined
+      in
+      (* online repair through the scheduler, faults still installed;
+         a foreground query runs alongside *)
+      let cfg = { S.default_config with S.max_inflight = 2; S.quantum = 50.0 } in
+      let sched = S.create ~config:cfg db in
+      let qid = S.submit sched ~label:"fg" table (R.request p) in
+      let rid = S.submit_repair sched ~label:"repair" table ~index:victim in
+      let _rep = S.run sched in
+      let fg_rows = S.rows_of sched qid in
+      Buffer_pool.set_injector pool None;
+      Buffer_pool.flush pool;
+      let after, s_after = R.run table (R.request p) in
+      quarantined
+      && List.for_all (fun rows -> multiset rows = oracle) !damaged_rows
+      && multiset fg_rows = oracle
+      && S.repair_of sched rid = Some true
+      && Health.state (Table.health table) victim = Health.Healthy
+      && multiset pristine = oracle
+      && multiset after = oracle
+      && s_after.R.status = R.Completed)
+
+let () =
+  Alcotest.run "rdb_health"
+    [
+      ( "health",
+        [
+          Alcotest.test_case "state machine transitions" `Quick test_machine;
+          Alcotest.test_case "fail_at_access is deterministic" `Quick
+            test_fail_at_access;
+          Alcotest.test_case "quarantine backoff: no touch until due" `Quick
+            test_backoff_no_touch;
+          Alcotest.test_case "quarantine backoff: re-probe and heal" `Quick
+            test_backoff_reprobe;
+          QCheck_alcotest.to_alcotest prop_repair_equiv;
+        ] );
+    ]
