@@ -1,0 +1,116 @@
+(* Batch-quantum invariance — the unified cursor layer (DESIGN.md §11).
+
+   Every scan strategy now speaks `Scan.cursor`: `next_batch ~budget`
+   delivers rows until the charged cost crosses the budget.  The budget
+   is a pure amortization knob: it must never change which rows come
+   back, in what order, at what total charged cost, or which trace /
+   fault events fire — only how often the drive loop crosses the
+   dispatch boundary, and therefore how many buffer-pool hash probes
+   the heap-fetch cache can elide via `Buffer_pool.retouch`.
+
+   This experiment pins both halves of that contract on a clustered
+   cold-pool fetch scan (the hot loop the cache targets): identical
+   results across budgets {0, 1, 7, 64}, and `pool.lookups` dropping
+   materially at budget 64 vs the row-at-a-time protocol. *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_storage
+module R = Rdb_core.Retrieval
+module G = Rdb_core.Goal
+
+let name = "batch"
+let description = "batch-quantum cursors: results invariant, pool probes amortized"
+
+let budgets = [ 0.0; 1.0; 7.0; 64.0 ]
+
+(* One cold retrieval of ORDERS in DAY order (rows are inserted in DAY
+   order, so the fetch scan walks the heap nearly page-by-page — the
+   best case for the per-batch page cache).  [plan] installs a fresh
+   fault injector per run so every budget faces the same schedule. *)
+let run_once db table ~budget ~plan =
+  Bench_common.flush_pool db;
+  let pool = Database.pool db in
+  Buffer_pool.set_injector pool (Option.map Fault.create plan);
+  let lookups_before = Buffer_pool.lookups pool in
+  let config = { R.default_config with R.batch_budget = budget } in
+  let request =
+    R.request ~explicit_goal:G.Fast_first ~order_by:[ "DAY" ]
+      Predicate.(And [ ( >=% ) "DAY" (Value.int 10); ( <% ) "DAY" (Value.int 70) ])
+  in
+  let rows, summary = R.run ~config table request in
+  Buffer_pool.set_injector pool None;
+  (rows, summary, Buffer_pool.lookups pool - lookups_before)
+
+let all_equal = function
+  | [] -> true
+  | x :: rest -> List.for_all (fun y -> y = x) rest
+
+let run () =
+  Bench_common.section "Experiment batch — batch-quantum cursor invariance";
+  let db = Rdb_workload.Datasets.fresh_db ~pool_capacity:512 () in
+  let orders = Rdb_workload.Datasets.orders ~rows:12_000 db in
+
+  (* --- clean runs across budgets --------------------------------- *)
+  let clean = List.map (fun b -> (b, run_once db orders ~budget:b ~plan:None)) budgets in
+  Bench_common.table
+    ~header:[ "batch budget"; "rows"; "total cost"; "pool lookups" ]
+    (List.map
+       (fun (b, (rows, s, lookups)) ->
+         [
+           Bench_common.f1 b;
+           string_of_int (List.length rows);
+           Bench_common.f2 s.R.total_cost;
+           string_of_int lookups;
+         ])
+       clean);
+  let lookups_of b = let _, _, l = List.assoc b clean in l in
+  let l1 = lookups_of 1.0 and l64 = lookups_of 64.0 in
+  let drop_pct = 100.0 *. (1.0 -. (float_of_int l64 /. float_of_int (max 1 l1))) in
+
+  (* --- the same sweep under transient read faults ----------------- *)
+  let plan = Some (Fault.plan ~transient_read_rate:0.2 ~seed:417 ()) in
+  let faulted = List.map (fun b -> (b, run_once db orders ~budget:b ~plan)) budgets in
+  let retries (_, s, _) =
+    List.length
+      (List.filter (function Rdb_exec.Trace.Fault_retry _ -> true | _ -> false) s.R.trace)
+  in
+  Bench_common.subsection "with a 20% transient-read injector (same seed per budget)";
+  Bench_common.table
+    ~header:[ "batch budget"; "rows"; "total cost"; "fault retries" ]
+    (List.map
+       (fun (b, ((rows, s, _) as r)) ->
+         [
+           Bench_common.f1 b;
+           string_of_int (List.length rows);
+           Bench_common.f2 s.R.total_cost;
+           string_of_int (retries r);
+         ])
+       faulted);
+
+  let clean_rows = List.map (fun (_, (rows, _, _)) -> rows) clean in
+  let clean_costs = List.map (fun (_, (_, s, _)) -> s.R.total_cost) clean in
+  let clean_traces = List.map (fun (_, (_, s, _)) -> s.R.trace) clean in
+  let faulted_rows = List.map (fun (_, (rows, _, _)) -> rows) faulted in
+  let faulted_traces = List.map (fun (_, (_, s, _)) -> s.R.trace) faulted in
+
+  Bench_common.metric "rows" (float_of_int (List.length (List.hd clean_rows)));
+  Bench_common.metric "total_cost" (List.hd clean_costs);
+  Bench_common.metric ~dir:Bench_common.Lower_better "lookups_budget1" (float_of_int l1);
+  Bench_common.metric ~dir:Bench_common.Lower_better "lookups_budget64" (float_of_int l64);
+  Bench_common.metric ~dir:Bench_common.Higher_better "lookups_drop_pct" drop_pct;
+
+  Bench_common.subsection "paper checkpoints";
+  Printf.printf "delivered rows and their order identical across budgets {0,1,7,64}: %b\n"
+    (all_equal clean_rows);
+  Printf.printf "total charged cost identical across budgets (%.2f): %b\n"
+    (List.hd clean_costs) (all_equal clean_costs);
+  Printf.printf "trace event sequence identical across budgets: %b\n" (all_equal clean_traces);
+  Printf.printf "pool lookups drop >= 20%% at budget 64 vs 1 (%d -> %d, %.1f%%): %b\n" l1 l64
+    drop_pct
+    (float_of_int l64 <= 0.8 *. float_of_int l1);
+  Printf.printf "under transient faults, rows still identical across budgets: %b\n"
+    (all_equal faulted_rows);
+  Printf.printf "fault/retry trace identical across budgets (retries = %d > 0): %b\n"
+    (retries (List.hd (List.map snd faulted)))
+    (all_equal faulted_traces && retries (List.hd (List.map snd faulted)) > 0)

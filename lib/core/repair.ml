@@ -17,7 +17,9 @@ type t = {
   mutable pending : (Rid.t * Row.t) option;
       (* a row read from the heap whose insert faulted: replayed first *)
   mutable entries : int;
-  mutable consec_faults : int;
+  mutable driver : Driver.t option;
+      (* shared cursor driver (installed lazily; it closes over [t]);
+         owns the consecutive-fault count *)
   mutable result : bool option;
 }
 
@@ -58,7 +60,7 @@ let create ?(batch = default_batch) ?(retry_limit = default_retry_limit) table ~
       trace = Trace.create ();
       pending = None;
       entries = 0;
-      consec_faults = 0;
+      driver = None;
       result = None;
     }
   in
@@ -87,61 +89,94 @@ let finish t ok =
     (Trace.Repair_done { index = t.index; entries = t.entries; cost = spent t; ok });
   `Done ok
 
-(* One scheduler quantum: copy up to [batch] heap entries into the new
-   tree.  The heap cursor retries the same page after a faulted read
-   and (key, rid) inserts are idempotent, so transient faults replay
-   the in-flight row instead of dropping or duplicating it. *)
+(* One copy as a cursor step.  The heap cursor retries the same page
+   after a faulted read and (key, rid) inserts are idempotent, so
+   transient faults replay the in-flight row instead of dropping or
+   duplicating it. *)
+let copy_step t =
+  let insert_row (rid, row) =
+    t.pending <- Some (rid, row);
+    Btree.insert t.new_tree t.meter (t.key_of row) rid;
+    t.pending <- None;
+    t.entries <- t.entries + 1
+  in
+  match
+    match t.pending with
+    | Some p ->
+        insert_row p;
+        `Copied
+    | None -> (
+        match Heap_file.next t.cursor with
+        | None -> `Copied_all
+        | Some p ->
+            insert_row p;
+            `Copied)
+  with
+  | `Copied -> Scan.Continue
+  | `Copied_all -> Scan.Done
+  | exception Fault.Injected f -> Scan.Failed f
+
+(* The repair policy for the shared driver: same bounded retry with
+   deterministic backoff as retrieval, but no fallback — when the
+   ground truth itself is unreadable (or persistently flaky) the
+   rebuild gives up and the index goes back to quarantine with an
+   escalated backoff. *)
+let fault_policy t =
+  {
+    Driver.on_fault =
+      (fun f ~consec ->
+        Trace.emit t.trace
+          (Trace.Fault_detected { site = "repair"; fault = Fault.describe f });
+        if Fault.is_transient f && consec <= t.retry_limit then begin
+          (* The i-th consecutive retry charges i physical reads. *)
+          for _ = 1 to consec do
+            Cost.charge_physical t.meter
+          done;
+          Trace.emit t.trace
+            (Trace.Fault_retry { site = "repair"; attempt = consec; penalty = consec });
+          Driver.Retry
+        end
+        else Driver.Stop);
+  }
+
+let driver_of t =
+  match t.driver with
+  | Some d -> d
+  | None ->
+      let cursor =
+        Scan.cursor_of_step
+          ~cost:(fun () -> Cost.total t.meter)
+          ~max_steps:t.batch
+          (fun () -> copy_step t)
+      in
+      let d = Driver.make cursor (fault_policy t) in
+      t.driver <- Some d;
+      d
+
+(* One scheduler quantum: one driver batch of up to [batch] copies. *)
 let step t =
   match t.result with
   | Some ok -> `Done ok
   | None -> (
-      let insert_row (rid, row) =
-        t.pending <- Some (rid, row);
-        Btree.insert t.new_tree t.meter (t.key_of row) rid;
-        t.pending <- None;
-        t.entries <- t.entries + 1
-      in
-      let rec copy n =
-        if n = 0 then `Working
-        else begin
-          match t.pending with
-          | Some p ->
-              insert_row p;
-              t.consec_faults <- 0;
-              copy (n - 1)
-          | None -> (
-              match Heap_file.next t.cursor with
-              | None -> `Copied_all
-              | Some p ->
-                  insert_row p;
-                  t.consec_faults <- 0;
-                  copy (n - 1))
-        end
-      in
-      match copy t.batch with
-      | `Working -> `Working
-      | `Copied_all -> finish t true
-      | exception Fault.Injected f ->
-          Trace.emit t.trace
-            (Trace.Fault_detected { site = "repair"; fault = Fault.describe f });
-          t.consec_faults <- t.consec_faults + 1;
-          if Fault.is_transient f && t.consec_faults <= t.retry_limit then begin
-            (* Same deterministic backoff as retrieval: the i-th
-               consecutive retry charges i physical reads. *)
-            for _ = 1 to t.consec_faults do
-              Cost.charge_physical t.meter
-            done;
-            Trace.emit t.trace
-              (Trace.Fault_retry
-                 { site = "repair"; attempt = t.consec_faults; penalty = t.consec_faults });
-            `Working
-          end
-          else
-            (* The ground truth itself is unreadable (or persistently
-               flaky): give up; the index goes back to quarantine with
-               an escalated backoff. *)
-            finish t false)
+      match Driver.pump (driver_of t) ~budget:infinity ~on_rows:(fun _ -> ()) with
+      | Driver.More -> `Working
+      | Driver.Exhausted -> finish t true
+      | Driver.Stopped _ -> finish t false)
 
 let run t =
   let rec loop () = match step t with `Working -> loop () | `Done ok -> ok in
   loop ()
+
+let grant t ~budget ~max_steps =
+  let res = ref None in
+  Driver.clocked_loop
+    ~spent:(fun () -> Cost.total t.meter)
+    ~budget ~max_steps
+    ~stop:(fun () -> !res <> None)
+    ~step:(fun () ->
+      match step t with
+      | `Working -> `Continue
+      | `Done ok ->
+          res := Some ok;
+          `Finished);
+  !res

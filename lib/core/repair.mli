@@ -32,6 +32,14 @@ val step : t -> [ `Working | `Done of bool ]
 val run : t -> bool
 (** Drive {!step} to completion (non-scheduled callers). *)
 
+val grant : t -> budget:float -> max_steps:int -> bool option
+(** One scheduler grant: drive {!step} until [budget] worth of cost
+    has been charged since entry, [max_steps] steps ran, or the
+    rebuild finished (all checked before each step).  [Some ok] iff it
+    finished during the grant.  This is
+    {!Rdb_exec.Driver.clocked_loop} over [step] — the same grant loop
+    the session scheduler uses for queries. *)
+
 val index_name : t -> string
 val entries : t -> int
 (** Entries copied into the new tree so far. *)

@@ -13,6 +13,10 @@ type config = {
   retry_limit : int;
       (** consecutive faulted quanta tolerated before a transient fault
           is escalated to the non-retriable policy *)
+  batch_budget : float;
+      (** cost budget per cursor batch; 0. = one step per batch (the
+          row-at-a-time protocol).  Steers amortization only: rows,
+          order, and charged cost are batch-size-independent *)
   cost_quota : float option;
       (** per-query cost ceiling, checked at quantum boundaries *)
   metrics : Rdb_util.Metrics.t option;
@@ -28,6 +32,7 @@ let default_config =
     speed_ratio = 1.0;
     default_goal = Goal.Total_time;
     retry_limit = 8;
+    batch_budget = 0.0;
     cost_quota = None;
     metrics = None;
   }
@@ -160,7 +165,12 @@ type cursor = {
   mutable exclude_delivered : bool;
       (** set at fault fallback: the replacement Tscan must not
           re-deliver rows the faulted scan already produced *)
-  mutable consec_faults : int;
+  mutable driver : Driver.t option;
+      (** the shared cursor driver pumping the machine; installed right
+          after construction (it closes over this record).
+          Consecutive-fault counting lives in the driver *)
+  mutable inbox : (Rid.t * Row.t) list;
+      (** batch rows accepted but not yet handed to [step] *)
   mutable pending_bg : (Fault.failure -> unit) option;
       (** quarantine action for a fault surfaced by a background
           competitor this quantum; [None] means the fault is the
@@ -645,7 +655,8 @@ let open_ ?(config = default_config) table (req : request) =
     ordered_by_index = classified_order;
     delivered_rids = Hashtbl.create 64;
     exclude_delivered = false;
-    consec_faults = 0;
+    driver = None;
+    inbox = [];
     pending_bg = None;
     aborted = None;
     quota_hit = None;
@@ -702,68 +713,132 @@ let fallback_tscan c f =
   c.exclude_delivered <- true;
   c.machine <- M_tscan (Tscan.create c.table c.fgr_meter c.restriction)
 
-let handle_fault c f =
-  let site =
-    if Option.is_some c.pending_bg then "background " ^ Fault.class_name f.Fault.class_
-    else "foreground " ^ Fault.class_name f.Fault.class_
-  in
-  Trace.emit c.trace (Trace.Fault_detected { site; fault = Fault.describe f });
-  c.consec_faults <- c.consec_faults + 1;
-  if Fault.is_transient f && c.consec_faults <= c.cfg.retry_limit then begin
-    (* Bounded retry with deterministic backoff: the i-th consecutive
-       retry charges i physical reads to the faulted side's meter, so
-       repeated faults both show up in the cost accounting and shift
-       the foreground/background interleave away from the flaky
-       device. *)
-    let meter = if Option.is_some c.pending_bg then c.bgr_meter else c.fgr_meter in
-    for _ = 1 to c.consec_faults do
-      Cost.charge_physical meter
-    done;
-    Trace.emit c.trace
-      (Trace.Fault_retry { site; attempt = c.consec_faults; penalty = c.consec_faults })
-  end
-  else begin
-    c.consec_faults <- 0;
-    note_structure_fault c f;
-    match c.pending_bg with
-    | Some quarantine -> quarantine f
-    | None -> (
-        match f.Fault.class_ with
-        | Fault.Heap -> abort_query c f
-        | Fault.Index | Fault.Spill | Fault.Other -> fallback_tscan c f)
-  end
+(* Retrieval's fault policy, dispatched by the shared driver.  The
+   driver owns consecutive-fault counting; this closure owns what the
+   count means: bounded retry with deterministic backoff for transient
+   faults, then quarantine (background), fallback (foreground index
+   path), or abort (heap). *)
+let fault_policy c =
+  {
+    Driver.on_fault =
+      (fun f ~consec ->
+        let site =
+          if Option.is_some c.pending_bg then
+            "background " ^ Fault.class_name f.Fault.class_
+          else "foreground " ^ Fault.class_name f.Fault.class_
+        in
+        Trace.emit c.trace (Trace.Fault_detected { site; fault = Fault.describe f });
+        if Fault.is_transient f && consec <= c.cfg.retry_limit then begin
+          (* The i-th consecutive retry charges i physical reads to the
+             faulted side's meter, so repeated faults both show up in
+             the cost accounting and shift the foreground/background
+             interleave away from the flaky device. *)
+          let meter = if Option.is_some c.pending_bg then c.bgr_meter else c.fgr_meter in
+          for _ = 1 to consec do
+            Cost.charge_physical meter
+          done;
+          Trace.emit c.trace (Trace.Fault_retry { site; attempt = consec; penalty = consec });
+          Driver.Retry
+        end
+        else begin
+          note_structure_fault c f;
+          match c.pending_bg with
+          | Some quarantine ->
+              quarantine f;
+              Driver.Absorb
+          | None -> (
+              match f.Fault.class_ with
+              | Fault.Heap ->
+                  abort_query c f;
+                  Driver.Stop
+              | Fault.Index | Fault.Spill | Fault.Other ->
+                  fallback_tscan c f;
+                  Driver.Absorb)
+        end);
+  }
 
-(* One quantum of raw progress: a single [step_machine] call plus the
-   quota check and fault policies — the unit the multi-query session
-   scheduler interleaves by. *)
+(* Page-handle caches are only sound within one batch; the machine
+   cursor invalidates whichever its current shape holds on every batch
+   boundary. *)
+let drop_machine_caches c =
+  match c.machine with
+  | M_fscan f -> Fscan.drop_cache f
+  | M_sorted so -> Fscan.drop_cache so.so_fscan
+  | M_bg_only { bg_stage2 = Some (S_final fs); _ }
+  | M_union { un_stage2 = Some (S_final fs); _ }
+  | M_fast_first { ff_stage2 = Some (S_final fs); _ }
+  | M_index_only { io_stage2 = Some (S_final fs); _ } ->
+      Final_stage.drop_cache fs
+  | _ -> ()
+
+let machine_cursor c =
+  Scan.cursor_of_step
+    ~cost:(fun () -> total_cost c)
+    ~on_yield:(fun () -> drop_machine_caches c)
+    (fun () ->
+      (* [pending_bg] is only ever set on a path that returns [Failed],
+         which ends the batch — so clearing it per step keeps the
+         blame assignment of the step-at-a-time protocol. *)
+      c.pending_bg <- None;
+      step_machine c)
+
+let driver_of c =
+  match c.driver with
+  | Some d -> d
+  | None ->
+      let d = Driver.make (machine_cursor c) (fault_policy c) in
+      c.driver <- Some d;
+      d
+
+(* Batch consumption: exclusion and delivered-RID bookkeeping happen
+   here, *before* any fault policy could swap in a fallback scan — a
+   fallback must see every row the batch delivered ahead of the fault
+   as already delivered. *)
+let accept_batch c (b : Scan.batch) =
+  let keep =
+    List.filter
+      (fun (rid, _) ->
+        if c.exclude_delivered && Hashtbl.mem c.delivered_rids rid then false
+        else begin
+          Hashtbl.replace c.delivered_rids rid ();
+          true
+        end)
+      b.Scan.rows
+  in
+  c.inbox <- c.inbox @ keep
+
+(* One quantum of raw progress: hand out a buffered row if the last
+   batch left any, otherwise check the quota and pump the driver for
+   one batch — the unit the multi-query session scheduler interleaves
+   by.  At the default [batch_budget = 0.] a batch is a single machine
+   step, reproducing the row-at-a-time protocol exactly. *)
 let quantum_raw c =
-  if c.aborted <> None || c.quota_hit <> None then `Exhausted
-  else begin
-    match c.cfg.cost_quota with
-    | Some quota when total_cost c > quota ->
-        Trace.emit c.trace (Trace.Quota_exceeded { spent = total_cost c; quota });
-        c.quota_hit <- Some (total_cost c, quota);
-        `Exhausted
-    | _ -> (
-        c.pending_bg <- None;
-        match step_machine c with
-        | Scan.Deliver (rid, row) ->
-            c.consec_faults <- 0;
-            if c.exclude_delivered && Hashtbl.mem c.delivered_rids rid then `Working
-            else begin
-              Hashtbl.replace c.delivered_rids rid ();
-              `Row (rid, row)
-            end
-        | Scan.Continue ->
-            c.consec_faults <- 0;
-            `Working
-        | Scan.Done ->
-            c.consec_faults <- 0;
+  match c.inbox with
+  | p :: rest ->
+      c.inbox <- rest;
+      `Row p
+  | [] ->
+      if c.aborted <> None || c.quota_hit <> None then `Exhausted
+      else begin
+        match c.cfg.cost_quota with
+        | Some quota when total_cost c > quota ->
+            Trace.emit c.trace (Trace.Quota_exceeded { spent = total_cost c; quota });
+            c.quota_hit <- Some (total_cost c, quota);
             `Exhausted
-        | Scan.Failed f ->
-            handle_fault c f;
-            `Working)
-  end
+        | _ -> (
+            let progress =
+              Driver.pump (driver_of c) ~budget:c.cfg.batch_budget
+                ~on_rows:(accept_batch c)
+            in
+            match c.inbox with
+            | p :: rest ->
+                c.inbox <- rest;
+                `Row p
+            | [] -> (
+                match progress with
+                | Driver.More | Driver.Stopped _ -> `Working
+                | Driver.Exhausted -> `Exhausted))
+      end
 
 type step_result = Step_row of Rid.t * Row.t | Step_working | Step_done
 
@@ -814,7 +889,31 @@ let rec fetch_pair c =
 
 let fetch c = Option.map snd (fetch_pair c)
 
+let drain_pairs c =
+  let rec loop acc =
+    match fetch_pair c with
+    | Some p -> loop (p :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
 let spent = total_cost
+
+let grant c ~budget ~max_steps ~stop ~on_row =
+  let finished = ref false in
+  Driver.clocked_loop
+    ~spent:(fun () -> total_cost c)
+    ~budget ~max_steps ~stop
+    ~step:(fun () ->
+      match step c with
+      | Step_row (_, row) ->
+          on_row row;
+          `Continue
+      | Step_working -> `Continue
+      | Step_done ->
+          finished := true;
+          `Finished);
+  !finished
 let rows_delivered c = c.delivered
 let tactic c = c.tactic
 

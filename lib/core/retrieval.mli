@@ -36,6 +36,15 @@ type config = {
   retry_limit : int;
       (** max consecutive transient-fault retries per access before the
           fault is treated as persistent (quarantine / fallback) *)
+  batch_budget : float;
+      (** cost budget per cursor batch (the {!Rdb_exec.Scan.cursor}
+          quantum).  [0.] — the default — runs one machine step per
+          batch, the row-at-a-time protocol; larger budgets amortize
+          per-step dispatch and buffer-pool probes on hot loops.  Like
+          every config knob this steers cost only: delivered rows,
+          their order, and the charged totals are identical across
+          budgets (pinned by the batch-invariance properties in
+          [test_exec] / [test_oracle] and [bench -e batch]) *)
   cost_quota : float option;
       (** per-query cost ceiling, checked at quantum boundaries; [None]
           disables the governor *)
@@ -113,6 +122,12 @@ val fetch_pair : cursor -> (Rid.t * Row.t) option
 (** Like {!fetch} but exposing the record's RID (DELETE/UPDATE drive
     this). *)
 
+val drain_pairs : cursor -> (Rid.t * Row.t) list
+(** Pump the cursor to exhaustion and return every remaining
+    qualifying row in delivery order (the SQL executor's materializing
+    path; Halloween-safe by construction — the scan completes before
+    the caller mutates anything). *)
+
 type step_result =
   | Step_row of Rid.t * Row.t  (** a qualifying row was delivered *)
   | Step_working  (** one quantum of work done, nothing delivered yet *)
@@ -129,6 +144,15 @@ val spent : cursor -> float
 (** Total cost charged to this retrieval so far (foreground +
     background + estimation meters) — the scheduler's fairness
     currency. *)
+
+val grant : cursor -> budget:float -> max_steps:int -> stop:(unit -> bool) -> on_row:(Row.t -> unit) -> bool
+(** One scheduler grant: drive {!step} until [stop ()] holds, [budget]
+    worth of cost has been charged since entry, or [max_steps] steps
+    ran (all checked before each step — a spent budget grants
+    nothing).  Delivered rows go to [on_row]; returns [true] iff the
+    retrieval exhausted during the grant.  This is
+    {!Rdb_exec.Driver.clocked_loop} over [step] — the one grant loop
+    the session scheduler uses for queries and repairs alike. *)
 
 val rows_delivered : cursor -> int
 val tactic : cursor -> tactic_kind

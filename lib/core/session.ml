@@ -305,44 +305,29 @@ let run t =
     j.j_last_grant <- !tick;
     incr tick;
     j.j_quanta <- j.j_quanta + 1;
-    let steps = ref 0 in
+    (* Both work kinds share the one clocked grant loop (exposed as
+       [Retrieval.grant] / [Repair.grant] over the generic driver):
+       stop when the job finishes, the quantum's cost is spent, or the
+       step cap is hit — checked before each step. *)
     let spent, done_ =
       match j.j_work with
       | W_query q ->
           let cursor = Option.get q.q_cursor in
           let before = Retrieval.spent cursor in
-          let done_ = ref (query_finished q) in
-          while
-            (not !done_)
-            && Retrieval.spent cursor -. before < t.cfg.quantum
-            && !steps < t.cfg.max_steps_per_quantum
-          do
-            incr steps;
-            match Retrieval.step cursor with
-            | Retrieval.Step_row (_, row) ->
-                q.q_rows <- row :: q.q_rows;
-                if query_finished q then done_ := true
-            | Retrieval.Step_working -> ()
-            | Retrieval.Step_done -> done_ := true
-          done;
-          (Retrieval.spent cursor -. before, !done_)
+          let exhausted =
+            Retrieval.grant cursor ~budget:t.cfg.quantum
+              ~max_steps:t.cfg.max_steps_per_quantum
+              ~stop:(fun () -> query_finished q)
+              ~on_row:(fun row -> q.q_rows <- row :: q.q_rows)
+          in
+          (Retrieval.spent cursor -. before, exhausted || query_finished q)
       | W_repair r ->
           let rp = Option.get r.r_repair in
           let before = Repair.spent rp in
-          let done_ = ref (r.r_result <> None) in
-          while
-            (not !done_)
-            && Repair.spent rp -. before < t.cfg.quantum
-            && !steps < t.cfg.max_steps_per_quantum
-          do
-            incr steps;
-            match Repair.step rp with
-            | `Working -> ()
-            | `Done ok ->
-                r.r_result <- Some ok;
-                done_ := true
-          done;
-          (Repair.spent rp -. before, !done_)
+          (match Repair.grant rp ~budget:t.cfg.quantum ~max_steps:t.cfg.max_steps_per_quantum with
+          | Some ok -> r.r_result <- Some ok
+          | None -> ());
+          (Repair.spent rp -. before, r.r_result <> None)
     in
     j.j_charged <- j.j_charged +. spent;
     if done_ then begin

@@ -1,0 +1,96 @@
+(* The one generic cursor driver.
+
+   Every execution loop in the system — Retrieval quanta, Uscan/Jscan
+   completion runs, Repair batches, Session grants — pumps a
+   Scan.cursor through this module.  The driver owns the mechanics
+   every loop used to reimplement: consecutive-fault counting and the
+   dispatch to a caller-supplied fault policy.  Policies stay with the
+   callers (retrieval quarantines and falls back; union machinery
+   abandons; repair gives up) because *what* to do about a fault is
+   strategy knowledge — *when* to ask is not. *)
+
+type decision =
+  | Retry
+  | Absorb
+  | Stop
+
+type policy = { on_fault : Rdb_storage.Fault.failure -> consec:int -> decision }
+
+let retry_transient ~give_up =
+  {
+    on_fault =
+      (fun f ~consec:_ ->
+        if Rdb_storage.Fault.is_transient f then Retry
+        else begin
+          give_up f;
+          Absorb
+        end);
+  }
+
+type t = {
+  cursor : Scan.cursor;
+  policy : policy;
+  mutable consec : int;  (* consecutive faults without a successful step *)
+}
+
+let make cursor policy = { cursor; policy; consec = 0 }
+let consec_faults d = d.consec
+
+type progress =
+  | More
+  | Exhausted
+  | Stopped of Rdb_storage.Fault.failure
+
+let pump d ~budget ~on_rows =
+  let b = d.cursor.Scan.next_batch ~budget in
+  (* Rows first: a batch that delivered rows and then faulted must
+     hand those rows to the consumer *before* the policy runs — a
+     fallback scan re-covering them would otherwise redeliver. *)
+  on_rows b;
+  match b.Scan.status with
+  | Scan.More ->
+      d.consec <- 0;
+      More
+  | Scan.Exhausted ->
+      d.consec <- 0;
+      Exhausted
+  | Scan.Faulted f -> (
+      (* Any successful step inside the batch breaks the consecutive
+         run, exactly as step-at-a-time pumping would have. *)
+      if b.Scan.steps > 1 then d.consec <- 0;
+      d.consec <- d.consec + 1;
+      match d.policy.on_fault f ~consec:d.consec with
+      | Retry -> More
+      | Absorb ->
+          d.consec <- 0;
+          More
+      | Stop ->
+          d.consec <- 0;
+          Stopped f)
+
+let drain d ~budget ~on_rows =
+  let rec loop () =
+    match pump d ~budget ~on_rows with
+    | More -> loop ()
+    | Exhausted -> Ok ()
+    | Stopped f -> Error f
+  in
+  loop ()
+
+(* Cost-clocked grant loop: the shape Session used to duplicate for
+   queries and repairs.  All three bounds are checked before each
+   iteration (a spent budget grants zero steps), and [steps] counts
+   [step] invocations — pump calls, not scan steps. *)
+let clocked_loop ~spent ~budget ~max_steps ~stop ~step =
+  let start = spent () in
+  let steps = ref 0 in
+  let rec loop () =
+    if stop () || spent () -. start >= budget || !steps >= max_steps then ()
+    else begin
+      incr steps;
+      match step () with
+      | `Continue -> loop ()
+      | `Finished -> ()
+    end
+  in
+  loop ()

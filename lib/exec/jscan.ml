@@ -453,16 +453,26 @@ let faulted_scan t =
   | Some (Site_scan (st, _)) -> Some (idx_name st)
   | _ -> None
 
-let rec run t =
-  match step t with
-  | `Finished o -> o
-  | `Working -> run t
-  | `Faulted f ->
-      if Fault.is_transient f then run t
-      else begin
-        quarantine t f;
-        run t
-      end
+let outcome t = t.finished
+
+(* Row-less cursor: Jscan produces a RID list (or a recommendation)
+   through [outcome]; faults surface as batch status so the shared
+   driver's policy decides between retry and quarantine. *)
+let cursor t =
+  Scan.cursor_of_step
+    ~cost:(fun () -> Cost.total t.meter)
+    (fun () ->
+      match step t with
+      | `Working -> Scan.Continue
+      | `Finished _ -> Scan.Done
+      | `Faulted f -> Scan.Failed f)
+
+let run t =
+  let d = Driver.make (cursor t) (Driver.retry_transient ~give_up:(quarantine t)) in
+  (match Driver.drain d ~budget:infinity ~on_rows:(fun _ -> ()) with
+  | Ok () -> ()
+  | Error _ -> (* retry_transient never stops *) assert false);
+  match t.finished with Some o -> o | None -> assert false
 
 let borrow t =
   if t.borrow_pos < Dynarray.length t.borrow_q then begin

@@ -84,9 +84,19 @@ val quarantine : t -> Fault.failure -> unit
 val faulted_scan : t -> string option
 (** Index name blamed by the last [`Faulted] step, if it was a scan. *)
 
+val cursor : t -> Scan.cursor
+(** The competition as a row-less batch-quantum cursor: productive
+    steps yield no rows (the result is the {!outcome} RID list),
+    faults surface as batch status for the driver's policy. *)
+
+val outcome : t -> outcome option
+(** [None] until the competition settles. *)
+
 val run : t -> outcome
-(** Step to completion, retrying transient faults and quarantining
-    persistent ones. *)
+(** Drain {!cursor} through the shared driver with the
+    {!Driver.retry_transient} policy: transient faults retry in
+    place, anything else quarantines the blamed party and the
+    competition continues. *)
 
 val borrow : t -> Rid.t option
 (** Next not-yet-borrowed accepted RID, if any (fast-first tactic). *)

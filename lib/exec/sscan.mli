@@ -15,6 +15,11 @@ val create : Table.t -> Cost.t -> Scan.candidate -> restriction:Predicate.t -> t
     reference only columns of the candidate index. *)
 
 val step : t -> Scan.step
+
+val cursor : t -> Scan.cursor
+(** The scan as a batch-quantum cursor (the uniform driver
+    interface). *)
+
 val meter : t -> Cost.t
 val delivered : t -> int
 val index_name : t -> string

@@ -14,6 +14,11 @@ val create : Table.t -> Cost.t -> Predicate.t -> t
 (** The restriction must be bound. *)
 
 val step : t -> Scan.step
+
+val cursor : t -> Scan.cursor
+(** The scan as a batch-quantum cursor (the uniform driver
+    interface). *)
+
 val meter : t -> Cost.t
 val examined : t -> int
 (** Records looked at so far. *)

@@ -195,15 +195,25 @@ let abandon t f =
          (Recommend_tscan (Printf.sprintf "union abandoned: %s" (Fault.describe f))))
   end
 
-let rec run t =
-  match step t with
-  | `Finished o -> o
-  | `Working -> run t
-  | `Faulted f ->
-      if Fault.is_transient f then run t
-      else begin
-        abandon t f;
-        run t
-      end
+let outcome t = t.finished
+
+(* Row-less cursor: the union delivers a RID list (or a Tscan
+   recommendation) through [outcome], not rows, so every productive
+   step maps to [Continue]. *)
+let cursor t =
+  Scan.cursor_of_step
+    ~cost:(fun () -> Cost.total t.meter)
+    (fun () ->
+      match step t with
+      | `Working -> Scan.Continue
+      | `Finished _ -> Scan.Done
+      | `Faulted f -> Scan.Failed f)
+
+let run t =
+  let d = Driver.make (cursor t) (Driver.retry_transient ~give_up:(abandon t)) in
+  (match Driver.drain d ~budget:infinity ~on_rows:(fun _ -> ()) with
+  | Ok () -> ()
+  | Error _ -> (* retry_transient never stops *) assert false);
+  match t.finished with Some o -> o | None -> assert false
 
 let meter t = t.meter

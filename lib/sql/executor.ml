@@ -485,12 +485,7 @@ let collect_pairs db env config (tbl : Table.t) where summaries =
     (Predicate.columns restriction);
   let req = Retrieval.request ~env restriction in
   let cursor = Retrieval.open_ ?config tbl req in
-  let rec drain acc =
-    match Retrieval.fetch_pair cursor with
-    | Some p -> drain (p :: acc)
-    | None -> List.rev acc
-  in
-  let pairs = drain [] in
+  let pairs = Retrieval.drain_pairs cursor in
   let summary = Retrieval.close cursor in
   summaries := !summaries @ [ (Table.name tbl, summary) ];
   check_status summary;

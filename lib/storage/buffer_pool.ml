@@ -16,12 +16,22 @@ type t = {
   mutable tail : node option; (* least recently used *)
   mutable count : int;
   mutable next_file : int;
+  mutable lookups : int; (* residency probes, charged accesses only *)
+  mutable stamp : int; (* bumped on any eviction; invalidates handles *)
   global : Cost.t;
   classes : (int, Fault.file_class) Hashtbl.t;
   mutable injector : Fault.t option;
   names : (int, string) Hashtbl.t;  (* file id -> human label for metrics *)
   mutable metrics : Metrics.t option;
 }
+
+(* A handle pins no memory: it remembers the LRU node a lookup found
+   (or created) plus the eviction stamp at that moment.  [retouch]
+   replays the hit path through the node, skipping the hash probe —
+   valid only while no eviction has happened since, which the stamp
+   check enforces conservatively (any eviction invalidates every
+   outstanding handle). *)
+type handle = { h_node : node; h_stamp : int }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
@@ -32,6 +42,8 @@ let create ~capacity =
     tail = None;
     count = 0;
     next_file = 0;
+    lookups = 0;
+    stamp = 0;
     global = Cost.create ();
     classes = Hashtbl.create 16;
     injector = None;
@@ -108,6 +120,7 @@ let evict_lru t =
       unlink t n;
       Hashtbl.remove t.table n.block;
       t.count <- t.count - 1;
+      t.stamp <- t.stamp + 1;
       record t "evict" n.block.file
 
 let make_resident t block =
@@ -115,22 +128,31 @@ let make_resident t block =
   if t.count >= t.cap then evict_lru t;
   Hashtbl.replace t.table block n;
   push_front t n;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  n
 
-let touch_read t meter block =
-  match Hashtbl.find_opt t.table block with
+let probe t block =
+  t.lookups <- t.lookups + 1;
+  record t "lookups" block.file;
+  Hashtbl.find_opt t.table block
+
+let hit_charges t meter block =
+  Cost.charge_logical meter;
+  Cost.charge_logical t.global;
+  record t "hit" block.file;
+  inject t
+    (fun inj ->
+      Fault.on_read inj ~cls:(file_class t block.file) ~file:block.file
+        ~index:block.index ~hit:true)
+    block
+
+let touch_read_h t meter block =
+  match probe t block with
   | Some n ->
       unlink t n;
       push_front t n;
-      Cost.charge_logical meter;
-      Cost.charge_logical t.global;
-      record t "hit" block.file;
-      inject t
-        (fun inj ->
-          Fault.on_read inj ~cls:(file_class t block.file) ~file:block.file
-            ~index:block.index ~hit:true)
-        block;
-      `Hit
+      hit_charges t meter block;
+      (`Hit, { h_node = n; h_stamp = t.stamp })
   | None ->
       (* The I/O attempt is charged whether or not it succeeds; on a
          fault the block does *not* become resident (the read failed,
@@ -143,10 +165,24 @@ let touch_read t meter block =
           Fault.on_read inj ~cls:(file_class t block.file) ~file:block.file
             ~index:block.index ~hit:false)
         block;
-      make_resident t block;
-      `Miss
+      let n = make_resident t block in
+      (`Miss, { h_node = n; h_stamp = t.stamp })
 
+let touch_read t meter block = fst (touch_read_h t meter block)
 let touch t meter block = ignore (touch_read t meter block)
+
+let retouch t meter h =
+  if h.h_stamp <> t.stamp then false
+  else begin
+    (* Replay the hit path exactly — LRU bump, charges, metrics and
+       injector stream all identical to [touch_read] on a resident
+       block — minus the hash probe, which is the point. *)
+    let n = h.h_node in
+    unlink t n;
+    push_front t n;
+    hit_charges t meter n.block;
+    true
+  end
 
 let write t meter block =
   Cost.charge_write meter;
@@ -157,11 +193,11 @@ let write t meter block =
       Fault.on_write inj ~cls:(file_class t block.file) ~file:block.file
         ~index:block.index)
     block;
-  match Hashtbl.find_opt t.table block with
+  match probe t block with
   | Some n ->
       unlink t n;
       push_front t n
-  | None -> make_resident t block
+  | None -> ignore (make_resident t block)
 
 let is_resident t block = Hashtbl.mem t.table block
 
@@ -169,6 +205,7 @@ let evict_file t file =
   let doomed =
     Hashtbl.fold (fun b n acc -> if b.file = file then n :: acc else acc) t.table []
   in
+  if doomed <> [] then t.stamp <- t.stamp + 1;
   List.iter
     (fun n ->
       unlink t n;
@@ -180,6 +217,8 @@ let flush t =
   Hashtbl.reset t.table;
   t.head <- None;
   t.tail <- None;
-  t.count <- 0
+  t.count <- 0;
+  t.stamp <- t.stamp + 1
 
+let lookups t = t.lookups
 let global_meter t = t.global

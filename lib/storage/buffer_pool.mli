@@ -61,6 +61,39 @@ val touch_read : t -> Cost.t -> block -> [ `Hit | `Miss ]
     read.  Checksummed stores verify page integrity on [`Miss] (a cold
     read is the moment corruption would be observed). *)
 
+(** {1 Lookup handles} — batch-quantum repeat-access fast path.
+
+    Every [touch_read] probes the residency hash table; a batched
+    cursor touching the same page many times inside one quantum pays
+    that probe each time even though nothing moved.  A {!handle}
+    remembers the LRU node a lookup resolved to, and {!retouch}
+    replays the {e hit} path through it — same LRU bump, same logical
+    charge to the meter and the global meter, same metrics events,
+    same fault-injector stream — while skipping the probe.  Handles
+    are invalidated conservatively by {e any} eviction ([retouch]
+    returns [false]; redo the full lookup), so they are only worth
+    holding across a short window such as one [next_batch] call. *)
+
+type handle
+
+val touch_read_h : t -> Cost.t -> block -> [ `Hit | `Miss ] * handle
+(** Exactly [touch_read], also returning a handle for the (now
+    resident) block.  No handle is produced on a faulted read (the
+    exception propagates before residency). *)
+
+val retouch : t -> Cost.t -> handle -> bool
+(** Re-access the handled block as a hit without probing the table.
+    [false] if any eviction invalidated the handle since it was made
+    (nothing charged; caller falls back to [touch_read_h]).  May raise
+    {!Fault.Injected} exactly as a hit access would. *)
+
+val lookups : t -> int
+(** Residency-table probes performed so far (charged read and write
+    accesses only; [retouch] does not probe).  Distinct from charged
+    accesses: this is the in-memory bookkeeping the batch-quantum
+    cursors amortize, also exported per file as the [pool.lookups]
+    metric. *)
+
 val write : t -> Cost.t -> block -> unit
 (** Access a block for writing: charges a block write; the block
     becomes resident. *)

@@ -1,0 +1,32 @@
+(** Minimal JSON tree, printer, and parser — just enough for the
+    machine-readable bench output ([BENCH_<id>.json]) and the CI
+    regression gate that consumes it, with zero external dependencies.
+    Numbers are represented as floats (like JSON itself); integral
+    values print without a fractional part. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents two spaces per level. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input (including trailing
+    garbage). *)
+
+(** {1 Accessors} — total, [None] on shape mismatch *)
+
+val member : string -> t -> t option
+(** First field of that name in an [Obj]; [None] otherwise. *)
+
+val to_num : t -> float option
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -124,6 +124,8 @@ let random_config rng =
         simultaneous = Prng.bool rng;
       };
     R.speed_ratio = 0.25 +. Prng.float rng 3.0;
+    R.batch_budget =
+      (match Prng.int rng 4 with 0 -> 0.0 | 1 -> 1.0 | 2 -> 7.0 | _ -> 64.0);
   }
 
 (* Every strategy that must agree, as (name, rows) thunks.  The dynamic

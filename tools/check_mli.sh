@@ -1,0 +1,19 @@
+#!/bin/sh
+# Every lib/ module must ship an interface file: the .mli is where the
+# invariant documentation lives, and a missing one silently exports
+# every helper.  Run from the repository root.
+set -eu
+
+missing=0
+for ml in $(find lib -name '*.ml' | sort); do
+  if [ ! -f "${ml}i" ]; then
+    echo "missing interface: ${ml}i"
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  echo "every lib/ module must have a .mli" >&2
+  exit 1
+fi
+echo "ok: every lib/ module ships an interface"
