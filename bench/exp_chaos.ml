@@ -204,7 +204,9 @@ let run () =
       (fun q ->
         let rows = S.rows_of sched q in
         let st =
-          (List.find (fun s -> s.S.s_id = q) rep.S.sessions).S.s_summary.R.status
+          match (List.find (fun s -> s.S.s_id = q) rep.S.sessions).S.s_summary with
+          | Some summary -> summary.R.status
+          | None -> R.Aborted { fault = "never ran" }
         in
         (row_key rows = base_key && st = R.Completed)
         || (rows = [] && match st with R.Aborted _ -> true | _ -> false))

@@ -211,7 +211,10 @@ let run () =
     max_gap_all S.default_config.S.starvation_bound
     (max_gap_all <= S.default_config.S.starvation_bound
     && List.for_all
-         (fun s -> s.S.s_summary.R.status = R.Completed)
+         (fun s ->
+           match s.S.s_summary with
+           | Some summary -> summary.R.status = R.Completed
+           | None -> false)
          all_in.S.sessions);
   Printf.printf "admission control holds (max in-flight seen %d <= 4): %b\n"
     conc_report.S.pool.S.p_max_inflight_seen

@@ -30,6 +30,7 @@ let experiments : (string * string * (unit -> unit)) list =
     (Exp_faults.name, Exp_faults.description, Exp_faults.run);
     (Exp_concurrency.name, Exp_concurrency.description, Exp_concurrency.run);
     (Exp_chaos.name, Exp_chaos.description, Exp_chaos.run);
+    (Exp_storm.name, Exp_storm.description, Exp_storm.run);
     (Exp_batch.name, Exp_batch.description, Exp_batch.run);
     (Exp_micro.name, Exp_micro.description, Exp_micro.run);
   ]

@@ -14,7 +14,8 @@
      .unset NAME        remove a binding
      .params            show bindings
      .health            per-structure health states (self-healing registry)
-     .concurrent [I] [N]  N queries through the session scheduler, I in-flight
+     .concurrent [I] [N] [SEED]  N queries through the session scheduler,
+                        I in-flight, workload seeded with SEED (default 7)
      .quit              exit
 
    Anything else is SQL; EXPLAIN SELECT ... shows the dynamic
@@ -49,12 +50,12 @@ let load_demo db =
 (* .concurrent / --concurrent: drive a seeded mixed workload through
    the multi-query session scheduler against the shared pool and print
    its report (the scheduler's EXPLAIN). *)
-let run_concurrent db inflight count =
-  if inflight < 1 then failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1]";
-  if count < 1 then failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1]";
+let run_concurrent db inflight count seed =
+  if inflight < 1 then failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED]";
+  if count < 1 then failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED]";
   load_demo db;
   let table = Database.table db "ORDERS" in
-  let specs = Rdb_workload.Traffic.orders_mix ~seed:7 ~count () in
+  let specs = Rdb_workload.Traffic.orders_mix ~seed ~count () in
   let module S = Rdb_core.Session in
   let module R = Rdb_core.Retrieval in
   let sched =
@@ -80,8 +81,8 @@ let run_concurrent db inflight count =
                  else None)
               sp.Rdb_workload.Traffic.pred)))
     specs;
-  Printf.printf "%d queries, max %d in-flight, shared pool of %d blocks:\n" count
-    inflight
+  Printf.printf "%d queries (seed %d), max %d in-flight, shared pool of %d blocks:\n"
+    count seed inflight
     (Rdb_storage.Buffer_pool.capacity (Database.pool db));
   print_string (S.report_to_string (S.run sched))
 
@@ -160,7 +161,7 @@ let meta db line =
   | [ ".help" ] ->
       print_endline
         ".tables | .demo | .set NAME VALUE | .unset NAME | .params | .flush | .stats | \
-         .health | .concurrent [INFLIGHT] [COUNT] | .quit — else SQL \
+         .health | .concurrent [INFLIGHT] [COUNT] [SEED] | .quit — else SQL \
          (SELECT/INSERT/UPDATE/DELETE/CREATE/EXPLAIN/CHECK/REPAIR)"
   | [ ".tables" ] -> show_tables db
   | [ ".demo" ] -> load_demo db
@@ -200,16 +201,17 @@ let meta db line =
       let int_arg s =
         match int_of_string_opt s with
         | Some n -> n
-        | None -> failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1]"
+        | None -> failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED]"
       in
-      let inflight, count =
+      let inflight, count, seed =
         match rest with
-        | [] -> (4, 12)
-        | [ i ] -> (int_arg i, 12)
-        | [ i; c ] -> (int_arg i, int_arg c)
-        | _ -> failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1]"
+        | [] -> (4, 12, 7)
+        | [ i ] -> (int_arg i, 12, 7)
+        | [ i; c ] -> (int_arg i, int_arg c, 7)
+        | [ i; c; s ] -> (int_arg i, int_arg c, int_arg s)
+        | _ -> failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED]"
       in
-      run_concurrent db inflight count
+      run_concurrent db inflight count seed
   | [ ".params" ] ->
       List.iter (fun (k, v) -> Printf.printf ":%s = %s\n" k (Value.to_string v)) !params
   | [ ".set"; name; value ] ->
@@ -316,7 +318,7 @@ let main demo pool concurrent commands script =
   let db = Database.create ~pool_capacity:pool () in
   Rdb_storage.Buffer_pool.set_metrics (Database.pool db) (Some registry);
   if demo then load_demo db;
-  if concurrent then protect (fun () -> run_concurrent db 4 12);
+  if concurrent then protect (fun () -> run_concurrent db 4 12 7);
   match (commands, script) with
   | [], None -> if concurrent then () else repl db
   | cmds, script ->

@@ -17,6 +17,12 @@ type config = {
       (** cost budget per cursor batch; 0. = one step per batch (the
           row-at-a-time protocol).  Steers amortization only: rows,
           order, and charged cost are batch-size-independent *)
+  bgr_enabled : bool;
+      (** [false] drops the competitive background-refinement arms
+          (index-only falls back to its foreground Sscan, sorted to its
+          foreground Fscan) — the scheduler's graceful-degradation
+          rung.  Tactics whose background is the sole row source are
+          unaffected.  Rows and order are invariant *)
   cost_quota : float option;
       (** per-query cost ceiling, checked at quantum boundaries *)
   metrics : Rdb_util.Metrics.t option;
@@ -33,6 +39,7 @@ let default_config =
     default_goal = Goal.Total_time;
     retry_limit = 8;
     batch_budget = 0.0;
+    bgr_enabled = true;
     cost_quota = None;
     metrics = None;
   }
@@ -77,6 +84,9 @@ let tactic_to_string = function
 type status =
   | Completed
   | Cancelled_quota of { spent : float; quota : float }
+  | Timed_out of { spent : float; deadline : float }
+      (** a scheduler-imposed cost deadline cancelled the session at a
+          grant boundary; delivered rows stand *)
   | Aborted of { fault : string }
       (** the heap itself was unreadable; no degradation path exists *)
 
@@ -84,6 +94,8 @@ let status_to_string = function
   | Completed -> "completed"
   | Cancelled_quota { spent; quota } ->
       Printf.sprintf "cancelled: cost quota exceeded (%.1f of %.1f)" spent quota
+  | Timed_out { spent; deadline } ->
+      Printf.sprintf "timed out: cost deadline exceeded (%.1f of %.1f)" spent deadline
   | Aborted { fault } -> Printf.sprintf "aborted: %s" fault
 
 type summary = {
@@ -177,6 +189,9 @@ type cursor = {
           foreground's *)
   mutable aborted : string option;
   mutable quota_hit : (float * float) option;
+  mutable deadline_hit : (float * float) option;
+      (** (spent, deadline): the scheduler cancelled this cursor at a
+          grant boundary ({!note_deadline}) *)
   mutable delivered : int;
   mutable first_row_cost : float option;
   mutable closed : bool;
@@ -204,7 +219,7 @@ let covering_sscan_choice table (classified : Initial_stage.classified) =
 let fetch_needed_candidates classified =
   classified.Initial_stage.jscan_candidates
 
-let decide table goal ~order_by ~(classified : Initial_stage.classified) trace =
+let decide table goal ~bgr ~order_by ~(classified : Initial_stage.classified) trace =
   let emit tactic reason =
     Trace.emit trace (Trace.Tactic_chosen { tactic = tactic_to_string tactic; reason });
     tactic
@@ -222,11 +237,15 @@ let decide table goal ~order_by ~(classified : Initial_stage.classified) trace =
         List.filter (fun c -> c.Scan.idx.Table.idx_name <> oi.Scan.idx.Table.idx_name) cands
       in
       if others = [] then emit Static_fscan "only the order-needed index is useful"
+      else if not bgr then
+        emit Static_fscan "background refinement disabled (overload degradation)"
       else emit Sorted_tactic "order-delivering Fscan with filter-delivering Jscan"
   | _ -> (
       match (best_ss, cands) with
       | Some ss, others when List.exists (fun c -> c.Scan.idx.Table.idx_name <> ss.Scan.idx.Table.idx_name) others ->
-          emit Index_only_tactic "self-sufficient Sscan competes with Jscan"
+          if not bgr then
+            emit Static_sscan "background refinement disabled (overload degradation)"
+          else emit Index_only_tactic "self-sufficient Sscan competes with Jscan"
       | Some _, _ -> emit Static_sscan "single useful self-sufficient index"
       | None, [] ->
           if classified.Initial_stage.union_candidates <> [] then
@@ -598,7 +617,10 @@ let open_ ?(config = default_config) table (req : request) =
         with
         | Initial_stage.No_rows _ -> (Cancelled, M_empty, false)
         | Initial_stage.Arranged classified ->
-            let tactic = decide table goal ~order_by:req.order_by ~classified trace in
+            let tactic =
+              decide table goal ~bgr:config.bgr_enabled ~order_by:req.order_by
+                ~classified trace
+            in
             let machine =
               build_machine config table trace restriction ~classified ~fgr_meter
                 ~bgr_meter tactic
@@ -660,6 +682,7 @@ let open_ ?(config = default_config) table (req : request) =
     pending_bg = None;
     aborted = None;
     quota_hit = None;
+    deadline_hit = None;
     delivered = 0;
     first_row_cost = None;
     closed = false;
@@ -818,7 +841,8 @@ let quantum_raw c =
       c.inbox <- rest;
       `Row p
   | [] ->
-      if c.aborted <> None || c.quota_hit <> None then `Exhausted
+      if c.aborted <> None || c.quota_hit <> None || c.deadline_hit <> None then
+        `Exhausted
       else begin
         match c.cfg.cost_quota with
         | Some quota when total_cost c > quota ->
@@ -914,6 +938,19 @@ let grant c ~budget ~max_steps ~stop ~on_row =
           finished := true;
           `Finished);
   !finished
+
+(* The scheduler's cooperative cancellation point: called at a grant
+   boundary when the session's cost deadline is spent.  The cursor
+   stops producing (every later quantum reports done) and [close]
+   reports the structured [Timed_out] status — never an exception, and
+   the rows delivered before the deadline stand. *)
+let note_deadline c ~deadline =
+  if c.deadline_hit = None && c.summary = None then begin
+    let spent = total_cost c in
+    Trace.emit c.trace (Trace.Deadline_exceeded { spent; deadline });
+    c.deadline_hit <- Some (spent, deadline)
+  end
+
 let rows_delivered c = c.delivered
 let tactic c = c.tactic
 
@@ -952,7 +989,7 @@ let is_switch_point = function
 
 let is_degradation = function
   | Trace.Index_quarantined _ | Trace.Fallback_tscan _ | Trace.Query_aborted _
-  | Trace.Quota_exceeded _ ->
+  | Trace.Quota_exceeded _ | Trace.Deadline_exceeded _ ->
       true
   | _ -> false
 
@@ -1004,10 +1041,11 @@ let close c =
       Trace.emit c.trace
         (Trace.Retrieval_done { rows = c.delivered; cost = total_cost c });
       let status =
-        match (c.aborted, c.quota_hit) with
-        | Some fault, _ -> Aborted { fault }
-        | None, Some (spent, quota) -> Cancelled_quota { spent; quota }
-        | None, None -> Completed
+        match (c.aborted, c.quota_hit, c.deadline_hit) with
+        | Some fault, _, _ -> Aborted { fault }
+        | None, Some (spent, quota), _ -> Cancelled_quota { spent; quota }
+        | None, None, Some (spent, deadline) -> Timed_out { spent; deadline }
+        | None, None, None -> Completed
       in
       let events = Trace.events c.trace in
       record_metrics c events;

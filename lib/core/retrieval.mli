@@ -45,6 +45,16 @@ type config = {
           their order, and the charged totals are identical across
           budgets (pinned by the batch-invariance properties in
           [test_exec] / [test_oracle] and [bench -e batch]) *)
+  bgr_enabled : bool;
+      (** [false] drops the {e competitive} background-refinement arms:
+          the index-only tactic degrades to its foreground Sscan and
+          the sorted tactic to its foreground Fscan.  Tactics whose
+          background is the sole row source (background-only, union,
+          fast-first) are unaffected — under pressure the scheduler
+          uses this as the first graceful-degradation rung while
+          fast-first LIMIT probes keep their refinement.  Like every
+          config knob it steers cost, never results: rows and their
+          order are invariant.  Default [true] *)
   cost_quota : float option;
       (** per-query cost ceiling, checked at quantum boundaries; [None]
           disables the governor *)
@@ -95,6 +105,9 @@ type status =
   | Cancelled_quota of { spent : float; quota : float }
       (** the cost-quota governor stopped the query at a quantum
           boundary *)
+  | Timed_out of { spent : float; deadline : float }
+      (** a scheduler-imposed cost deadline cancelled the session at a
+          grant boundary ({!note_deadline}); delivered rows stand *)
   | Aborted of { fault : string }
       (** the heap itself is unreadable — no degradation path left *)
 
@@ -153,6 +166,14 @@ val grant : cursor -> budget:float -> max_steps:int -> stop:(unit -> bool) -> on
     retrieval exhausted during the grant.  This is
     {!Rdb_exec.Driver.clocked_loop} over [step] — the one grant loop
     the session scheduler uses for queries and repairs alike. *)
+
+val note_deadline : cursor -> deadline:float -> unit
+(** Cooperative cancellation at a grant boundary: record that the
+    session's cost deadline is spent.  The cursor stops producing
+    (subsequent steps report done) and {!close} reports the structured
+    {!constructor-Timed_out} status — never an exception, never an
+    absorbing state; rows delivered before the deadline stand.
+    Idempotent; a no-op after {!close}. *)
 
 val rows_delivered : cursor -> int
 val tactic : cursor -> tactic_kind

@@ -3,11 +3,16 @@ open Rdb_engine
 open Rdb_exec
 open Rdb_storage
 
+type shed_policy = Shed_newest | Shed_largest_quota
+
 type config = {
   max_inflight : int;
   quantum : float;
   max_steps_per_quantum : int;
   starvation_bound : int;
+  max_queue : int;
+  shed_policy : shed_policy;
+  pressure_threshold : int;
   retrieval : Retrieval.config;
   record_events : bool;
   metrics : Rdb_util.Metrics.t option;
@@ -19,6 +24,9 @@ let default_config =
     quantum = 50.0;
     max_steps_per_quantum = 4096;
     starvation_bound = 16;
+    max_queue = max_int;
+    shed_policy = Shed_newest;
+    pressure_threshold = max_int;
     retrieval = Retrieval.default_config;
     record_events = true;
     metrics = None;
@@ -26,10 +34,24 @@ let default_config =
 
 type id = int
 
+type outcome =
+  | Served
+  | Timed_out of { deadline : float; spent : float }
+  | Shed of { reason : string }
+
+let outcome_to_string = function
+  | Served -> "served"
+  | Timed_out { deadline; spent } ->
+      Printf.sprintf "timed out (%.1f spent of %.1f)" spent deadline
+  | Shed { reason } -> "shed: " ^ reason
+
 type event =
   | Submitted of { id : id; label : string }
   | Admitted of { id : id; tick : int; waited : int }
   | Finished of { id : id; tick : int; rows : int }
+  | Shed_event of { id : id; tick : int; reason : string }
+  | Timed_out_event of { id : id; tick : int; spent : float; deadline : float }
+  | Degraded of { id : id; tick : int; depth : int }
 
 type session_stats = {
   s_id : id;
@@ -40,7 +62,9 @@ type session_stats = {
   s_queue_wait : int;
   s_max_gap : int;
   s_degradations : int;
-  s_summary : Retrieval.summary;
+  s_outcome : outcome;
+  s_degraded : bool;
+  s_summary : Retrieval.summary option;
 }
 
 type repair_stats = {
@@ -64,6 +88,10 @@ type pool_stats = {
   p_hit_rate : float;
   p_total_cost : float;
   p_max_inflight_seen : int;
+  p_submitted : int;
+  p_served : int;
+  p_shed : int;
+  p_timed_out : int;
 }
 
 type report = {
@@ -74,7 +102,8 @@ type report = {
 }
 
 (* Internal per-query payload.  A query is Queued (no cursor yet: the
-   plan is chosen at admission), then Active, then Done. *)
+   plan is chosen at admission), then Active, then Done.  Shed queries
+   never open a cursor at all — [q_summary] stays [None]. *)
 type query = {
   q_table : Table.t;
   q_request : Retrieval.request;
@@ -105,13 +134,18 @@ type job = {
   j_id : id;
   j_label : string;
   j_quota : float option;  (** admission-ordering key *)
+  j_deadline : float option;  (** cost deadline (queries only) *)
+  j_arrive_at : int;  (** grant tick at which the job joins the queue *)
   j_work : work;
+  mutable j_arrived_tick : int;  (** tick at which it actually arrived *)
   mutable j_quanta : int;
   mutable j_charged : float;
   mutable j_queue_wait : int;
   mutable j_admitted_at : int;
   mutable j_last_grant : int;  (** tick of the last grant (or admission) *)
   mutable j_max_gap : int;
+  mutable j_outcome : outcome option;
+  mutable j_degraded : bool;
 }
 
 type t = {
@@ -126,12 +160,16 @@ type t = {
 let create ?(config = default_config) db =
   if config.max_inflight < 1 then invalid_arg "Session.create: max_inflight < 1";
   if config.quantum <= 0.0 then invalid_arg "Session.create: quantum <= 0";
+  if config.max_queue < 0 then invalid_arg "Session.create: max_queue < 0";
+  if config.pressure_threshold < 0 then
+    invalid_arg "Session.create: pressure_threshold < 0";
   { cfg = config; db; jobs = []; next_id = 0; events = []; ran = false }
 
 let emit t e = if t.cfg.record_events then t.events <- e :: t.events
 
-let fresh_job t ?label ~default_label ~quota work =
+let fresh_job t ?label ?deadline ?(arrive_at = 0) ~default_label ~quota work =
   if t.ran then invalid_arg "Session.submit: scheduler already ran";
+  if arrive_at < 0 then invalid_arg "Session.submit: arrive_at < 0";
   let id = t.next_id in
   t.next_id <- id + 1;
   let label = match label with Some l -> l | None -> default_label id in
@@ -140,24 +178,32 @@ let fresh_job t ?label ~default_label ~quota work =
       j_id = id;
       j_label = label;
       j_quota = quota;
+      j_deadline = deadline;
+      j_arrive_at = arrive_at;
       j_work = work;
+      j_arrived_tick = 0;
       j_quanta = 0;
       j_charged = 0.0;
       j_queue_wait = 0;
       j_admitted_at = 0;
       j_last_grant = 0;
       j_max_gap = 0;
+      j_outcome = None;
+      j_degraded = false;
     }
   in
   t.jobs <- j :: t.jobs;
   emit t (Submitted { id; label });
   id
 
-let submit t ?label ?config ?limit table request =
+let submit t ?label ?config ?limit ?quota ?deadline ?arrive_at table request =
   let q_config = match config with Some c -> c | None -> t.cfg.retrieval in
-  fresh_job t ?label
+  let quota =
+    match quota with Some _ as q -> q | None -> q_config.Retrieval.cost_quota
+  in
+  fresh_job t ?label ?deadline ?arrive_at
     ~default_label:(Printf.sprintf "q%d")
-    ~quota:q_config.Retrieval.cost_quota
+    ~quota
     (W_query
        {
          q_table = table;
@@ -201,6 +247,25 @@ let pick_admission pending =
            (fun best j -> if admission_key j < admission_key best then j else best)
            first rest)
 
+(* Shedding victim: [Shed_newest] drops the most recent arrival (the
+   storm's marginal query), [Shed_largest_quota] drops the largest
+   declared quota (unbounded work first) — ties broken newest-first so
+   both policies are total orders. *)
+let pick_victim policy pending =
+  let key j =
+    match policy with
+    | Shed_newest -> (0.0, j.j_id)
+    | Shed_largest_quota ->
+        ((match j.j_quota with Some q -> q | None -> infinity), j.j_id)
+  in
+  match pending with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best j -> if key j > key best then j else best)
+           first rest)
+
 let query_finished q =
   match q.q_limit with
   | Some n when Option.is_some q.q_cursor ->
@@ -218,21 +283,27 @@ let run t =
   let all = List.rev t.jobs in
   let pool = Database.pool t.db in
   let meter0 = Cost.snapshot (Buffer_pool.global_meter pool) in
-  let pending = ref all in
+  (* Everyone starts unarrived — the first [arrive] at tick 0 moves the
+     arrive-at-0 submissions in, so the deadline-on-arrival check is
+     one code path. *)
+  let unarrived = ref all in
+  let pending = ref [] in
   let active = ref [] in
   let tick = ref 0 in
   let max_inflight_seen = ref 0 in
-  let close_job j =
+  let metric_incr name =
+    match t.cfg.metrics with
+    | None -> ()
+    | Some m ->
+        let module M = Rdb_util.Metrics in
+        M.incr (M.counter m name)
+  in
+  let finish_served j =
     (match j.j_work with
     | W_query q -> (
         match q.q_cursor with
         | Some c -> q.q_summary <- Some (Retrieval.close c)
-        | None ->
-            (* never admitted (defensive; cannot happen with
-               max_inflight >= 1): open and close so the report stays
-               total *)
-            let c = Retrieval.open_ ~config:q.q_config q.q_table q.q_request in
-            q.q_summary <- Some (Retrieval.close c))
+        | None -> ())
     | W_repair r -> (
         match r.r_result with
         | Some _ -> ()
@@ -246,7 +317,41 @@ let run t =
                   rp
             in
             r.r_result <- Some (Repair.run rp)));
+    j.j_outcome <- Some Served;
     emit t (Finished { id = j.j_id; tick = !tick; rows = job_rows j })
+  in
+  let finish_timed_out j ~spent ~deadline =
+    (match j.j_work with
+    | W_query q -> (
+        match q.q_cursor with
+        | Some c ->
+            Retrieval.note_deadline c ~deadline;
+            q.q_summary <- Some (Retrieval.close c)
+        | None -> ())
+    | W_repair _ -> assert false (* repairs carry no deadline *));
+    j.j_outcome <- Some (Timed_out { deadline; spent });
+    metric_incr "session.timed_out";
+    emit t (Timed_out_event { id = j.j_id; tick = !tick; spent; deadline })
+  in
+  let finish_shed j ~reason =
+    j.j_queue_wait <- !tick - j.j_arrived_tick;
+    j.j_outcome <- Some (Shed { reason });
+    metric_incr "session.shed";
+    emit t (Shed_event { id = j.j_id; tick = !tick; reason })
+  in
+  (* Move every job whose arrival tick has come into the queue.  A
+     deadline that is already spent on arrival (<= 0) exits right here
+     with a structured timeout: no cursor, no planning cost. *)
+  let arrive () =
+    let now, later = List.partition (fun j -> j.j_arrive_at <= !tick) !unarrived in
+    unarrived := later;
+    List.iter
+      (fun j ->
+        j.j_arrived_tick <- !tick;
+        match j.j_deadline with
+        | Some d when d <= 0.0 -> finish_timed_out j ~spent:0.0 ~deadline:d
+        | _ -> pending := !pending @ [ j ])
+      now
   in
   let admit () =
     while List.length !active < t.cfg.max_inflight && !pending <> [] do
@@ -254,21 +359,62 @@ let run t =
       | None -> ()
       | Some j ->
           pending := List.filter (fun p -> p.j_id <> j.j_id) !pending;
-          j.j_queue_wait <- !tick;
+          j.j_queue_wait <- !tick - j.j_arrived_tick;
           j.j_admitted_at <- !tick;
           j.j_last_grant <- !tick;
-          (* Plan choice happens here, sequentially: competition state
-             is born inside this cursor and never shared.  A repair
-             likewise moves its index to Rebuilding here. *)
+          (* Graceful degradation: once the queue behind this admission
+             is deep enough, drop the competitive background-refinement
+             arms (the paper's bgr) — fast-first LIMIT probes keep
+             their refinement because bgr is their only row source.
+             Rows are invariant either way (Retrieval pins this). *)
+          let depth = List.length !pending in
           (match j.j_work with
           | W_query q ->
-              q.q_cursor <- Some (Retrieval.open_ ~config:q.q_config q.q_table q.q_request)
+              let config =
+                if
+                  depth >= t.cfg.pressure_threshold
+                  && q.q_limit = None
+                  && q.q_config.Retrieval.bgr_enabled
+                then begin
+                  j.j_degraded <- true;
+                  metric_incr "session.degraded";
+                  emit t (Degraded { id = j.j_id; tick = !tick; depth });
+                  { q.q_config with Retrieval.bgr_enabled = false }
+                end
+                else q.q_config
+              in
+              (* Plan choice happens here, sequentially: competition
+                 state is born inside this cursor and never shared.  A
+                 repair likewise moves its index to Rebuilding here. *)
+              q.q_cursor <- Some (Retrieval.open_ ~config q.q_table q.q_request)
           | W_repair r ->
               r.r_repair <- Some (Repair.create r.r_rtable ~index:r.r_rindex));
-          emit t (Admitted { id = j.j_id; tick = !tick; waited = !tick });
+          emit t (Admitted { id = j.j_id; tick = !tick; waited = j.j_queue_wait });
           active := !active @ [ j ];
           max_inflight_seen := max !max_inflight_seen (List.length !active)
     done
+  in
+  (* Bounded queue: whatever admission could not drain past [max_queue]
+     is shed with a structured outcome — the victim never opens a
+     cursor, so a shed query charges nothing and perturbs nothing. *)
+  let shed_excess () =
+    let reason =
+      match t.cfg.shed_policy with
+      | Shed_newest -> "queue full (shed-newest)"
+      | Shed_largest_quota -> "queue full (shed-largest-quota)"
+    in
+    while List.length !pending > t.cfg.max_queue do
+      match pick_victim t.cfg.shed_policy !pending with
+      | None -> ()
+      | Some j ->
+          pending := List.filter (fun p -> p.j_id <> j.j_id) !pending;
+          finish_shed j ~reason
+    done
+  in
+  let settle () =
+    arrive ();
+    admit ();
+    shed_excess ()
   in
   (* Least-charged-first with a starvation override: any session passed
      over for [starvation_bound] consecutive grants runs next. *)
@@ -307,65 +453,79 @@ let run t =
     j.j_quanta <- j.j_quanta + 1;
     (* Both work kinds share the one clocked grant loop (exposed as
        [Retrieval.grant] / [Repair.grant] over the generic driver):
-       stop when the job finishes, the quantum's cost is spent, or the
-       step cap is hit — checked before each step. *)
-    let spent, done_ =
-      match j.j_work with
-      | W_query q ->
-          let cursor = Option.get q.q_cursor in
-          let before = Retrieval.spent cursor in
-          let exhausted =
-            Retrieval.grant cursor ~budget:t.cfg.quantum
-              ~max_steps:t.cfg.max_steps_per_quantum
-              ~stop:(fun () -> query_finished q)
-              ~on_row:(fun row -> q.q_rows <- row :: q.q_rows)
-          in
-          (Retrieval.spent cursor -. before, exhausted || query_finished q)
-      | W_repair r ->
-          let rp = Option.get r.r_repair in
-          let before = Repair.spent rp in
-          (match Repair.grant rp ~budget:t.cfg.quantum ~max_steps:t.cfg.max_steps_per_quantum with
-          | Some ok -> r.r_result <- Some ok
-          | None -> ());
-          (Repair.spent rp -. before, r.r_result <> None)
-    in
-    j.j_charged <- j.j_charged +. spent;
-    if done_ then begin
-      close_job j;
-      active := List.filter (fun p -> p.j_id <> j.j_id) !active
-    end
+       stop when the job finishes, its cost deadline is spent, the
+       quantum's cost is spent, or the step cap is hit — all checked
+       before each step. *)
+    match j.j_work with
+    | W_query q ->
+        let cursor = Option.get q.q_cursor in
+        let deadline_hit () =
+          match j.j_deadline with
+          | Some d -> Retrieval.spent cursor >= d
+          | None -> false
+        in
+        let before = Retrieval.spent cursor in
+        let exhausted =
+          Retrieval.grant cursor ~budget:t.cfg.quantum
+            ~max_steps:t.cfg.max_steps_per_quantum
+            ~stop:(fun () -> query_finished q || deadline_hit ())
+            ~on_row:(fun row -> q.q_rows <- row :: q.q_rows)
+        in
+        j.j_charged <- j.j_charged +. (Retrieval.spent cursor -. before);
+        if exhausted || query_finished q then begin
+          finish_served j;
+          active := List.filter (fun p -> p.j_id <> j.j_id) !active
+        end
+        else if deadline_hit () then begin
+          finish_timed_out j ~spent:(Retrieval.spent cursor)
+            ~deadline:(Option.get j.j_deadline);
+          active := List.filter (fun p -> p.j_id <> j.j_id) !active
+        end
+    | W_repair r ->
+        let rp = Option.get r.r_repair in
+        let before = Repair.spent rp in
+        (match
+           Repair.grant rp ~budget:t.cfg.quantum ~max_steps:t.cfg.max_steps_per_quantum
+         with
+        | Some ok -> r.r_result <- Some ok
+        | None -> ());
+        j.j_charged <- j.j_charged +. (Repair.spent rp -. before);
+        if r.r_result <> None then begin
+          finish_served j;
+          active := List.filter (fun p -> p.j_id <> j.j_id) !active
+        end
   in
-  admit ();
   let rec loop () =
+    settle ();
     match pick_next () with
     | Some j ->
         grant j;
-        admit ();
         loop ()
-    | None -> ()
+    | None -> (
+        (* No runnable session and (post-settle) nothing admissible: if
+           arrivals remain, the pool idles forward to the next one —
+           each iteration either grants (tick advances) or arrives a
+           job, so the loop terminates. *)
+        match !unarrived with
+        | [] -> ()
+        | js ->
+            let next_at =
+              List.fold_left (fun acc j -> min acc j.j_arrive_at) max_int js
+            in
+            tick := max !tick next_at;
+            loop ())
   in
   loop ();
-  (* Jobs never admitted (impossible today, but keep the report total)
-     — close them with an opened-then-closed cursor / inline repair. *)
-  List.iter
-    (fun j ->
-      let unclosed =
-        match j.j_work with
-        | W_query q -> q.q_summary = None
-        | W_repair r -> r.r_result = None
-      in
-      if unclosed then close_job j)
-    all;
   let meter1 = Buffer_pool.global_meter pool in
   let physical = Cost.physical_reads meter1 - Cost.physical_reads meter0 in
   let logical = Cost.logical_reads meter1 - Cost.logical_reads meter0 in
+  let outcome_of j = match j.j_outcome with Some o -> o | None -> Served in
   let sessions =
     List.filter_map
       (fun j ->
         match j.j_work with
         | W_repair _ -> None
         | W_query q ->
-            let summary = Option.get q.q_summary in
             Some
               {
                 s_id = j.j_id;
@@ -375,8 +535,11 @@ let run t =
                 s_charged = j.j_charged;
                 s_queue_wait = j.j_queue_wait;
                 s_max_gap = j.j_max_gap;
-                s_degradations = degradations summary;
-                s_summary = summary;
+                s_degradations =
+                  (match q.q_summary with Some s -> degradations s | None -> 0);
+                s_outcome = outcome_of j;
+                s_degraded = j.j_degraded;
+                s_summary = q.q_summary;
               })
       all
   in
@@ -409,6 +572,13 @@ let run t =
       all
   in
   let total_cost = List.fold_left (fun acc j -> acc +. j.j_charged) 0.0 all in
+  let count pred = List.length (List.filter pred all) in
+  let submitted = List.length all in
+  let served = count (fun j -> outcome_of j = Served) in
+  let shed = count (fun j -> match outcome_of j with Shed _ -> true | _ -> false) in
+  let timed_out =
+    count (fun j -> match outcome_of j with Timed_out _ -> true | _ -> false)
+  in
   (match t.cfg.metrics with
   | None -> ()
   | Some m ->
@@ -445,6 +615,10 @@ let run t =
            else float_of_int logical /. float_of_int (physical + logical));
         p_total_cost = total_cost;
         p_max_inflight_seen = !max_inflight_seen;
+        p_submitted = submitted;
+        p_served = served;
+        p_shed = shed;
+        p_timed_out = timed_out;
       };
     events = List.rev t.events;
   }
@@ -467,16 +641,30 @@ let event_to_string = function
       Printf.sprintf "admitted q%d at grant %d (waited %d)" id tick waited
   | Finished { id; tick; rows } ->
       Printf.sprintf "finished q%d at grant %d (%d rows)" id tick rows
+  | Shed_event { id; tick; reason } ->
+      Printf.sprintf "shed q%d at grant %d (%s)" id tick reason
+  | Timed_out_event { id; tick; spent; deadline } ->
+      Printf.sprintf "timed out q%d at grant %d (%.1f spent of %.1f)" id tick spent
+        deadline
+  | Degraded { id; tick; depth } ->
+      Printf.sprintf "degraded q%d at grant %d (queue depth %d)" id tick depth
 
 let report_to_string r =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     "session                       rows  quanta  charged  wait  max-gap  degr  tactic / status\n";
   let session_line s =
-    Printf.sprintf "%-28s %5d %7d %8.1f %5d %8d %5d  %s / %s\n" s.s_label s.s_rows
-      s.s_quanta s.s_charged s.s_queue_wait s.s_max_gap s.s_degradations
-      (Retrieval.tactic_to_string s.s_summary.Retrieval.tactic)
-      (Retrieval.status_to_string s.s_summary.Retrieval.status)
+    let tail =
+      match s.s_summary with
+      | Some summary ->
+          Printf.sprintf "%s / %s"
+            (Retrieval.tactic_to_string summary.Retrieval.tactic)
+            (Retrieval.status_to_string summary.Retrieval.status)
+      | None -> "- / " ^ outcome_to_string s.s_outcome
+    in
+    let tail = if s.s_degraded then tail ^ " [degraded]" else tail in
+    Printf.sprintf "%-28s %5d %7d %8.1f %5d %8d %5d  %s\n" s.s_label s.s_rows
+      s.s_quanta s.s_charged s.s_queue_wait s.s_max_gap s.s_degradations tail
   in
   let repair_line p =
     Printf.sprintf "%-28s %5d %7d %8.1f %5d %8d %5d  %s / %s\n" p.r_label p.r_entries
@@ -497,6 +685,9 @@ let report_to_string r =
         charged %.1f, max in-flight %d\n"
        r.pool.p_grants r.pool.p_physical r.pool.p_logical r.pool.p_hit_rate
        r.pool.p_total_cost r.pool.p_max_inflight_seen);
+  Buffer.add_string buf
+    (Printf.sprintf "admissions: %d served + %d shed + %d timed out = %d submitted\n"
+       r.pool.p_served r.pool.p_shed r.pool.p_timed_out r.pool.p_submitted);
   (match r.events with
   | [] -> ()
   | evs ->

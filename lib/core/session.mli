@@ -26,17 +26,37 @@
       degradation never perturbs another's plan choice.  Queries
       interact only through the shared buffer pool — i.e. through
       {e cost}, never through {e results}.
+    + {b Overload protection} (DESIGN.md §12).  Submissions may carry a
+      cost {e deadline}: a session that exceeds it is cooperatively
+      cancelled at the next grant boundary with a structured
+      {!outcome.Timed_out} — partial rows and charged cost stand, no
+      exception, no absorbing state.  The waiting queue is bounded by
+      [max_queue]: excess arrivals are {e shed} ({!shed_policy}) with a
+      structured {!outcome.Shed}, never opening a cursor.  When the
+      queue behind an admission reaches [pressure_threshold], the new
+      query is {e degraded} before anyone is shed: its competitive
+      background-refinement arms are dropped
+      ([Retrieval.bgr_enabled = false]) while fast-first LIMIT probes
+      keep theirs.  Shedding and degradation change {e which} queries
+      run and at what cost — never the results of queries that run.
     + {b Determinism.}  No wall clock, no OS scheduler: two runs with
       equal seeds and configs produce byte-identical reports.
 
     Observability: per-session counters (quanta, charged cost, queue
-    wait, max scheduling gap, degradations) and pool-wide counters
-    (grants, physical/logical reads, hit rate) in the {!report}, plus
-    a stable text rendering ({!report_to_string}) that serves as the
-    scheduler's EXPLAIN. *)
+    wait, max scheduling gap, degradations, outcome) and pool-wide
+    counters (grants, physical/logical reads, hit rate, exact
+    served/shed/timed-out accounting) in the {!report}, plus a stable
+    text rendering ({!report_to_string}) that serves as the
+    scheduler's EXPLAIN and audits {e every} submission. *)
 
 open Rdb_data
 open Rdb_engine
+
+type shed_policy =
+  | Shed_newest  (** drop the most recent arrival (the storm's margin) *)
+  | Shed_largest_quota
+      (** drop the largest declared cost quota — unbounded work first;
+          ties broken newest-first *)
 
 type config = {
   max_inflight : int;  (** admission-control limit, >= 1 *)
@@ -47,23 +67,48 @@ type config = {
   starvation_bound : int;
       (** a runnable session passed over this many consecutive grants
           is scheduled next unconditionally *)
+  max_queue : int;
+      (** waiting-queue bound: arrivals beyond it are shed with a
+          structured {!outcome.Shed}.  [max_int] — the default — never
+          sheds and reproduces the unbounded-queue scheduler exactly *)
+  shed_policy : shed_policy;  (** victim choice when the queue overflows *)
+  pressure_threshold : int;
+      (** queue depth at (and beyond) which newly admitted queries are
+          degraded — competitive background refinement disabled, rows
+          invariant; [max_int] — the default — never degrades *)
   retrieval : Retrieval.config;  (** default per-query config *)
   record_events : bool;  (** keep the scheduler event log (golden tests) *)
   metrics : Rdb_util.Metrics.t option;
       (** observation-only registry: quanta granted, queue depth at
-          each grant, per-session charged cost, and the starvation
-          margin are recorded during {!run}; [None] records nothing *)
+          each grant, per-session charged cost, the starvation margin,
+          and shed/timed-out/degraded counts are recorded during
+          {!run}; [None] records nothing *)
 }
 
 val default_config : config
 
 type id = int
 
+type outcome =
+  | Served  (** ran to its natural end (exhaustion, LIMIT, quota, fault) *)
+  | Timed_out of { deadline : float; spent : float }
+      (** cost deadline exceeded; the partial rows delivered stand *)
+  | Shed of { reason : string }
+      (** dropped by the bounded queue before a cursor ever opened *)
+
+val outcome_to_string : outcome -> string
+
 type event =
   | Submitted of { id : id; label : string }
   | Admitted of { id : id; tick : int; waited : int }
-      (** [waited] = grants issued between submission and admission *)
+      (** [waited] = grants issued between arrival and admission *)
   | Finished of { id : id; tick : int; rows : int }
+  | Shed_event of { id : id; tick : int; reason : string }
+      (** the bounded queue dropped this submission *)
+  | Timed_out_event of { id : id; tick : int; spent : float; deadline : float }
+      (** the cost deadline cancelled this session at a grant boundary *)
+  | Degraded of { id : id; tick : int; depth : int }
+      (** admitted under pressure with background refinement disabled *)
 
 type session_stats = {
   s_id : id;
@@ -76,7 +121,11 @@ type session_stats = {
       (** max grants between two consecutive slices while runnable *)
   s_degradations : int;
       (** fault retries + quarantines + fallbacks in its trace *)
-  s_summary : Retrieval.summary;
+  s_outcome : outcome;
+  s_degraded : bool;  (** admitted with background refinement disabled *)
+  s_summary : Retrieval.summary option;
+      (** [None] iff the query never opened a cursor (shed, or timed
+          out on arrival) — the outcome still accounts for it *)
 }
 
 type repair_stats = {
@@ -100,6 +149,11 @@ type pool_stats = {
   p_hit_rate : float;  (** logical / (logical + physical); 1.0 if no reads *)
   p_total_cost : float;  (** sum of per-session charged cost *)
   p_max_inflight_seen : int;
+  p_submitted : int;  (** every submission, queries and repairs alike *)
+  p_served : int;
+  p_shed : int;
+  p_timed_out : int;
+      (** exact accounting: served + shed + timed_out = submitted *)
 }
 
 type report = {
@@ -118,11 +172,27 @@ val submit :
   ?label:string ->
   ?config:Retrieval.config ->
   ?limit:int ->
+  ?quota:float ->
+  ?deadline:float ->
+  ?arrive_at:int ->
   Table.t ->
   Retrieval.request ->
   id
 (** Enqueue a query.  Ids are dense, in submission order.  The table
-    must share the scheduler's database pool. *)
+    must share the scheduler's database pool.
+
+    [quota] is the {e declared} admission-ordering quota — a
+    declaration only, it does not enforce anything (enforcement is
+    [config.cost_quota] / [deadline]); defaults to the query config's
+    [cost_quota].  [deadline] is a cost deadline in the same cost
+    units every meter charges: the session is cooperatively cancelled
+    at the first grant boundary at which its total charged cost
+    (planning included) reaches it, with outcome
+    {!outcome.Timed_out}; a deadline [<= 0] times out on arrival
+    without opening a cursor.  [arrive_at] (default [0]) is the grant
+    tick at which the submission joins the queue — the storm
+    workload's arrival process; the pool idles forward when nothing is
+    runnable, so late arrivals always get service. *)
 
 val submit_repair :
   t -> ?label:string -> ?quota:float -> Table.t -> index:string -> id
@@ -134,8 +204,9 @@ val submit_repair :
     Raises [Invalid_argument] on an unknown index. *)
 
 val run : t -> report
-(** Drive every submitted query to completion and return the report.
-    May be called once; reuse requires a fresh scheduler. *)
+(** Drive every submitted query to a structured exit — [Served],
+    [Timed_out] or [Shed] — and return the report.  May be called
+    once; reuse requires a fresh scheduler. *)
 
 val rows_of : t -> id -> Row.t list
 (** Rows the session delivered, in delivery order (valid after
@@ -145,6 +216,10 @@ val repair_of : t -> id -> bool option
 (** Outcome of a repair job ([None] before {!run}).  Raises
     [Invalid_argument] on a query id. *)
 
+val event_to_string : event -> string
+
 val report_to_string : report -> string
-(** Deterministic text rendering: one line per session plus the pool
-    totals — the scheduler's EXPLAIN surface. *)
+(** Deterministic text rendering: one line per submission — shed and
+    timed-out sessions render their outcome where finishers render
+    tactic/status, so the report audits every submission — plus the
+    pool totals and the served/shed/timed-out ledger. *)

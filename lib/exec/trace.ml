@@ -22,6 +22,7 @@ type event =
   | Fallback_tscan of { reason : string }
   | Query_aborted of { fault : string }
   | Quota_exceeded of { spent : float; quota : float }
+  | Deadline_exceeded of { spent : float; deadline : float }
   | Span_begin of { span : string }
       (** span-style tracing: a named phase (plan, execute, an arm of a
           competition) opened; the matching [Span_end] carries its
@@ -78,6 +79,8 @@ let event_to_string = function
   | Query_aborted { fault } -> Printf.sprintf "query ABORTED: %s" fault
   | Quota_exceeded { spent; quota } ->
       Printf.sprintf "cost quota exceeded: %.2f spent of %.2f allowed" spent quota
+  | Deadline_exceeded { spent; deadline } ->
+      Printf.sprintf "cost deadline exceeded: %.2f spent of %.2f allowed" spent deadline
   | Span_begin { span } -> Printf.sprintf "span %s begin" span
   | Span_end { span; cost; rows } ->
       Printf.sprintf "span %s end (cost %.2f, rows %d)" span cost rows

@@ -37,6 +37,9 @@ type event =
       (** the heap itself was unreadable: no degradation possible *)
   | Quota_exceeded of { spent : float; quota : float }
       (** per-query cost-quota governor cancelled the retrieval *)
+  | Deadline_exceeded of { spent : float; deadline : float }
+      (** a scheduler-imposed cost deadline cancelled the session at a
+          grant boundary; the rows delivered before it stand *)
   | Span_begin of { span : string }
       (** span-style tracing: a named phase (plan, execute, an arm of a
           competition) opened; the matching [Span_end] carries its

@@ -19,6 +19,15 @@ type spec = {
   fast_first : bool;  (** hint: run under the fast-first goal *)
 }
 
+type arrival = {
+  spec : spec;
+  arrive_at : int;  (** scheduler grant tick at which the query arrives *)
+  quota : float option;
+      (** declared admission-ordering quota (heavy-tailed); [None] =
+          unbounded work declared *)
+  deadline : float option;  (** cost deadline the submitter attaches, if any *)
+}
+
 val orders_mix :
   ?customers:int ->
   ?products:int ->
@@ -31,3 +40,24 @@ val orders_mix :
 (** [count] specs in a seeded shuffled arrival order, cycling through
     the five templates with seeded parameters.  Bounds default to the
     {!Datasets.orders} defaults. *)
+
+val storm :
+  ?customers:int ->
+  ?products:int ->
+  ?days:int ->
+  ?price_max:int ->
+  ?theta:float ->
+  ?deadline_pct:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  arrival list
+(** A deterministic overload storm: [count] arrivals over the same five
+    templates, in arrival order.  Arrival ticks advance by Zipf-drawn
+    gaps (mostly 0 — bursts — with a heavy tail of quiet stretches);
+    declared quotas follow a Zipf mix with skew [theta] (default 1.0):
+    mostly small bounded quotas, a heavy tail of large or unbounded
+    declarations; [deadline_pct] percent of queries (default 25) carry
+    a tight-skewed cost deadline, including some that are 0 (timed out
+    on arrival).  Everything flows from [seed]: equal seeds give
+    identical storms. *)

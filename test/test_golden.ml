@@ -298,6 +298,53 @@ let scheduler_report_output () =
     specs;
   S.report_to_string (S.run sched)
 
+(* --- storm report (overload protection) ------------------------------ *)
+
+(* A small storm with every exit kind on display: shed lines, timed-out
+   lines (on-arrival and mid-run), a degraded admission, and the
+   served/shed/timed-out ledger. *)
+let storm_report_output () =
+  let db = Datasets.fresh_db ~pool_capacity:48 () in
+  let table = Datasets.orders ~rows:3000 db in
+  Buffer_pool.flush (Database.pool db);
+  let arrivals = Traffic.storm ~seed:4242 ~count:24 () in
+  let sched =
+    S.create
+      ~config:
+        {
+          S.default_config with
+          S.max_inflight = 2;
+          S.quantum = 6.0;
+          S.max_queue = 1;
+          S.shed_policy = S.Shed_largest_quota;
+          S.pressure_threshold = 2;
+          S.record_events = true;
+        }
+      db
+  in
+  List.iter
+    (fun (a : Traffic.arrival) ->
+      let sp = a.Traffic.spec in
+      ignore
+        (S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit
+           ?quota:a.Traffic.quota ?deadline:a.Traffic.deadline
+           ~arrive_at:a.Traffic.arrive_at table
+           (R.request ~env:sp.Traffic.env ~order_by:sp.Traffic.order_by
+              ?explicit_goal:
+                (if sp.Traffic.fast_first then Some Goal.Fast_first else None)
+              sp.Traffic.pred)))
+    arrivals;
+  (* two explicit deadline casualties so the report shows every exit
+     kind: one dead on arrival, one cancelled mid-run with partial rows *)
+  let open Predicate in
+  ignore
+    (S.submit sched ~label:"deadline-zero" ~deadline:0.0 table
+       (R.request ("PRICE" >=% Value.int 0)));
+  ignore
+    (S.submit sched ~label:"deadline-tight" ~deadline:8.0 table
+       (R.request ("PRICE" >=% Value.int 0)));
+  S.report_to_string (S.run sched)
+
 let () =
   Alcotest.run "rdb_golden"
     [
@@ -309,6 +356,8 @@ let () =
               check_golden "fault_trace" (fault_trace_output ()));
           Alcotest.test_case "scheduler report" `Quick (fun () ->
               check_golden "scheduler_report" (scheduler_report_output ()));
+          Alcotest.test_case "storm report" `Quick (fun () ->
+              check_golden "storm_report" (storm_report_output ()));
           Alcotest.test_case "check / repair / .health output" `Quick (fun () ->
               check_golden "check_repair" (check_repair_output ()));
           Alcotest.test_case "repair trace" `Quick (fun () ->

@@ -125,7 +125,10 @@ let test_bounds () =
   check "admission control holds" true (report.S.pool.S.p_max_inflight_seen <= 3);
   check "every session completed" true
     (List.for_all
-       (fun s -> s.S.s_summary.R.status = R.Completed)
+       (fun s ->
+         match s.S.s_summary with
+         | Some summary -> summary.R.status = R.Completed
+         | None -> false)
        report.S.sessions);
   (* all in flight at once: the starvation override bounds the gap *)
   let all_in, _ =
@@ -181,6 +184,192 @@ let test_quota_admission_order () =
   check "quota-declaring query admitted first" true
     (first_admitted = Some (List.nth ids (List.length ids - 1)))
 
+(* --- overload protection -------------------------------------------- *)
+
+let row_list rows = List.map Row.to_string rows
+
+let submit_arrival sched table (a : Traffic.arrival) =
+  let sp = a.Traffic.spec in
+  S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit
+    ?quota:a.Traffic.quota ?deadline:a.Traffic.deadline
+    ~arrive_at:a.Traffic.arrive_at table (request_of sp)
+
+let overload_cfg =
+  {
+    S.default_config with
+    S.max_inflight = 2;
+    quantum = 10.0;
+    max_queue = 3;
+    shed_policy = S.Shed_largest_quota;
+    pressure_threshold = 2;
+  }
+
+(* Each surviving session's rows (content and order) are identical
+   whether or not its shed / timed-out peers were present: shedding
+   changes which queries run, never the results of queries that run. *)
+let prop_shed_isolation =
+  QCheck.Test.make ~name:"survivor rows invariant under shed/timed-out peers"
+    ~count:10
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let db, table = Lazy.force fixture in
+      let arrivals = Traffic.storm ~seed ~count:16 () in
+      Rdb_storage.Buffer_pool.flush (Database.pool db);
+      let storm = S.create ~config:overload_cfg db in
+      let ids = List.map (submit_arrival storm table) arrivals in
+      let report = S.run storm in
+      let survivors =
+        List.filter
+          (fun (_, id) ->
+            let s = List.find (fun s -> s.S.s_id = id) report.S.sessions in
+            s.S.s_outcome = S.Served)
+          (List.combine arrivals ids)
+      in
+      (* calm rerun: survivors only, no queue bound, no deadlines *)
+      Rdb_storage.Buffer_pool.flush (Database.pool db);
+      let calm = S.create ~config:{ S.default_config with S.max_inflight = 2 } db in
+      let calm_ids =
+        List.map
+          (fun ((a : Traffic.arrival), _) ->
+            let sp = a.Traffic.spec in
+            S.submit calm ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+              (request_of sp))
+          survivors
+      in
+      let _ = S.run calm in
+      List.for_all2
+        (fun (_, storm_id) calm_id ->
+          row_list (S.rows_of storm storm_id) = row_list (S.rows_of calm calm_id))
+        survivors calm_ids)
+
+let test_deadline () =
+  let db, table = Lazy.force fixture in
+  Rdb_storage.Buffer_pool.flush (Database.pool db);
+  let specs = Traffic.orders_mix ~seed:5 ~count:3 () in
+  let expensive = List.hd specs and cheap = List.nth specs 1 in
+  let sched = S.create db in
+  (* deadline 0: timed out on arrival — no cursor, no quanta, no cost *)
+  let zero = S.submit sched ~label:"zero" ~deadline:0.0 table (request_of expensive) in
+  (* a deadline below any real plan's cost: cancelled at a grant
+     boundary with the partial state kept *)
+  let tight = S.submit sched ~label:"tight" ~deadline:4.0 table (request_of expensive) in
+  let free = S.submit sched ~label:"free" table (request_of cheap) in
+  let report = S.run sched in
+  let stats id = List.find (fun s -> s.S.s_id = id) report.S.sessions in
+  let z = stats zero in
+  check "deadline 0 exits immediately" true
+    (match z.S.s_outcome with S.Timed_out { spent; _ } -> spent = 0.0 | _ -> false);
+  check "deadline 0 never ran" true
+    (z.S.s_quanta = 0 && z.S.s_charged = 0.0 && z.S.s_summary = None);
+  let t = stats tight in
+  check "tight deadline times out" true
+    (match t.S.s_outcome with S.Timed_out _ -> true | _ -> false);
+  check "tight deadline has a Timed_out summary" true
+    (match t.S.s_summary with
+    | Some summary -> ( match summary.R.status with R.Timed_out _ -> true | _ -> false)
+    | None -> false);
+  check "spent at least the deadline" true
+    (match t.S.s_outcome with
+    | S.Timed_out { spent; deadline } -> spent >= deadline
+    | _ -> false);
+  check "undeadlined peer unaffected" true ((stats free).S.s_outcome = S.Served);
+  check "accounting exact" true
+    (report.S.pool.S.p_served + report.S.pool.S.p_shed + report.S.pool.S.p_timed_out
+    = report.S.pool.S.p_submitted)
+
+(* Explicitly-neutral overload knobs reproduce the default scheduler
+   bit-for-bit: an unbounded queue never sheds, an infinite pressure
+   threshold never degrades, and the shed policy is then irrelevant. *)
+let test_neutral_knobs () =
+  let db, table = Lazy.force fixture in
+  let specs = Traffic.orders_mix ~seed:31 ~count:8 () in
+  let report_d, rows_d =
+    run_schedule ~record_events:true db table specs ~max_inflight:3 ~quantum:30.0
+  in
+  Rdb_storage.Buffer_pool.flush (Database.pool db);
+  let cfg =
+    {
+      S.default_config with
+      S.max_inflight = 3;
+      quantum = 30.0;
+      record_events = true;
+      max_queue = max_int;
+      shed_policy = S.Shed_largest_quota;
+      pressure_threshold = max_int;
+    }
+  in
+  let sched = S.create ~config:cfg db in
+  let ids =
+    List.map
+      (fun sp ->
+        ( sp,
+          S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+            (request_of sp) ))
+      specs
+  in
+  let report_n = S.run sched in
+  check "byte-identical reports" true
+    (S.report_to_string report_d = S.report_to_string report_n);
+  List.iter2
+    (fun (_, rows) (_, id) ->
+      check "identical rows" true (row_list rows = row_list (S.rows_of sched id)))
+    rows_d ids
+
+let test_shed_policies () =
+  let db, table = Lazy.force fixture in
+  let specs = Traffic.orders_mix ~seed:11 ~count:4 () in
+  let quotas = [ None; Some 10.0; Some 500.0; Some 50.0 ] in
+  let run policy =
+    Rdb_storage.Buffer_pool.flush (Database.pool db);
+    let cfg =
+      {
+        S.default_config with
+        S.max_inflight = 1;
+        max_queue = 1;
+        shed_policy = policy;
+      }
+    in
+    let sched = S.create ~config:cfg db in
+    let _ =
+      List.map2
+        (fun sp quota ->
+          S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit ?quota table
+            (request_of sp))
+        specs quotas
+    in
+    let report = S.run sched in
+    List.map (fun s -> s.S.s_outcome) report.S.sessions
+  in
+  let is_shed = function S.Shed _ -> true | _ -> false in
+  (* Admission takes q1 (quota 10, smallest); queue of 3 exceeds
+     max_queue 1.  Largest-quota sheds the unbounded q0 then q2 (500);
+     newest sheds q3 then q2. *)
+  check "largest-quota sheds unbounded and largest" true
+    (List.map is_shed (run S.Shed_largest_quota) = [ true; false; true; false ]);
+  check "newest sheds the most recent arrivals" true
+    (List.map is_shed (run S.Shed_newest) = [ false; false; true; true ])
+
+(* Dropping background refinement is cost-only: rows and their order
+   are invariant — the contract graceful degradation relies on. *)
+let test_bgr_invariance () =
+  let _, table = Lazy.force fixture in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (sp : Traffic.spec) ->
+          if sp.Traffic.limit = None then begin
+            let run bgr =
+              let cfg = { R.default_config with R.bgr_enabled = bgr } in
+              fst (R.run ~config:cfg table (request_of sp))
+            in
+            check
+              (Printf.sprintf "rows invariant under bgr for %s" sp.Traffic.label)
+              true
+              (row_list (run true) = row_list (run false))
+          end)
+        (Traffic.orders_mix ~seed ~count:6 ()))
+    [ 2; 13; 47 ]
+
 let () =
   Alcotest.run "rdb_session"
     [
@@ -192,5 +381,16 @@ let () =
           Alcotest.test_case "lifecycle guards" `Quick test_lifecycle;
           Alcotest.test_case "quota-aware admission order" `Quick
             test_quota_admission_order;
+        ] );
+      ( "overload",
+        [
+          QCheck_alcotest.to_alcotest prop_shed_isolation;
+          Alcotest.test_case "cost deadlines" `Quick test_deadline;
+          Alcotest.test_case "neutral knobs reproduce default behavior" `Quick
+            test_neutral_knobs;
+          Alcotest.test_case "shed policies pick the right victims" `Quick
+            test_shed_policies;
+          Alcotest.test_case "bgr degradation is rows-invariant" `Quick
+            test_bgr_invariance;
         ] );
     ]
