@@ -1,0 +1,22 @@
+module R = Rdb_core.Retrieval
+module S = Rdb_core.Session
+module Datasets = Rdb_workload.Datasets
+module Traffic = Rdb_workload.Traffic
+open Rdb_engine
+
+let request_of (sp : Traffic.spec) =
+  R.request ~env:sp.Traffic.env ~order_by:sp.Traffic.order_by sp.Traffic.pred
+
+let () =
+  let db = Datasets.fresh_db ~pool_capacity:64 () in
+  let table = Datasets.orders ~rows:2000 db in
+  let idx = (List.hd (Table.indexes table)).Table.idx_name in
+  Printf.printf "index: %s\n%!" idx;
+  let cfg = { S.default_config with S.max_inflight = 1; max_queue = 1; shed_policy = S.Shed_newest } in
+  let sched = S.create ~config:cfg db in
+  let specs = Traffic.orders_mix ~seed:1 ~count:3 () in
+  List.iter (fun sp -> ignore (S.submit sched ~label:sp.Traffic.label table (request_of sp))) specs;
+  (* repair submitted last: Shed_newest will pick it as victim *)
+  ignore (S.submit_repair sched ~label:"repair" table ~index:idx);
+  let report = S.run sched in
+  print_string (S.report_to_string report)
