@@ -47,10 +47,27 @@ let indexes_in_preferred_order table =
   let rest = List.filter (fun i -> not (List.mem i.Table.idx_name preferred)) all in
   remembered @ rest
 
+(* Scale an inexact descent estimate by the table's learned feedback
+   factor (DESIGN.md §13), announcing the correction on the trace.
+   Exact estimates pass through untouched: exactness is what
+   correctness-critical decisions gate on (empty-range cancel,
+   pre-skip, union disjunct drop), so correction is cost-only by
+   construction. *)
+let apply_feedback table trace ~feedback_rate ~index ~ranges ~est ~exact =
+  if feedback_rate <= 0.0 || exact then est
+  else
+    let fb = Table.feedback table in
+    if not (Feedback.known fb ~name:index ~key:ranges) then est
+    else begin
+      let corrected = Feedback.correct fb ~name:index ~key:ranges est in
+      Trace.emit trace (Trace.Feedback_applied { index; raw = est; corrected });
+      corrected
+    end
+
 (* One bounded candidate per OR disjunct, when every disjunct has a
    usable index (the §7 "covering ORs" extension).  A disjunct whose
    best estimate is exactly zero contributes no rows and is dropped. *)
-let union_candidates table meter trace ~restriction ~nodes_spent =
+let union_candidates table meter trace ~feedback_rate ~restriction ~nodes_spent =
   match Predicate.simplify restriction with
   | Predicate.Or branches when List.length branches <= 8 ->
       let branch_candidate branch =
@@ -69,11 +86,16 @@ let union_candidates table meter trace ~restriction ~nodes_spent =
                        { site = "estimation"; fault = Fault.describe f })
               | r ->
               nodes_spent := !nodes_spent + r.Estimate.nodes_visited;
+              let est =
+                apply_feedback table trace ~feedback_rate
+                  ~index:idx.Table.idx_name ~ranges:extraction.Range_extract.ranges
+                  ~est:r.Estimate.estimate ~exact:r.Estimate.exact
+              in
               Trace.emit trace
                 (Trace.Estimated
                    {
                      index = idx.Table.idx_name;
-                     estimate = r.Estimate.estimate;
+                     estimate = est;
                      exact = r.Estimate.exact;
                      nodes = r.Estimate.nodes_visited;
                    });
@@ -82,7 +104,7 @@ let union_candidates table meter trace ~restriction ~nodes_spent =
                   Scan.idx;
                   ranges = extraction.Range_extract.ranges;
                   residual = extraction.Range_extract.residual;
-                  est = r.Estimate.estimate;
+                  est;
                   est_exact = r.Estimate.exact;
                 }
               in
@@ -111,7 +133,7 @@ let union_candidates table meter trace ~restriction ~nodes_spent =
       | None -> [])
   | _ -> []
 
-let run table meter trace ~restriction ~needed_columns ~order_by =
+let run table meter trace ~feedback_rate ~restriction ~needed_columns ~order_by =
   let indexes = indexes_in_preferred_order table in
   let nodes_spent = ref 0 in
   let stop_estimating = ref false in
@@ -173,23 +195,27 @@ let run table meter trace ~restriction ~needed_columns ~order_by =
                        readable again. *)
                     note_health table trace (Health.mark_healthy health name);
                   nodes_spent := !nodes_spent + r.Estimate.nodes_visited;
+                  let est =
+                    apply_feedback table trace ~feedback_rate ~index:name
+                      ~ranges:extraction.Range_extract.ranges
+                      ~est:r.Estimate.estimate ~exact:r.Estimate.exact
+                  in
                   Trace.emit trace
                     (Trace.Estimated
                        {
                          index = name;
-                         estimate = r.Estimate.estimate;
+                         estimate = est;
                          exact = r.Estimate.exact;
                          nodes = r.Estimate.nodes_visited;
                        });
-                  if r.Estimate.exact && r.Estimate.estimate = 0.0 then
+                  if r.Estimate.exact && est = 0.0 then
                     empty_found := Some name
-                  else if r.Estimate.estimate <= float_of_int shortcut_threshold then begin
+                  else if est <= float_of_int shortcut_threshold then begin
                     stop_estimating := true;
                     Trace.emit trace
-                      (Trace.Shortcut_estimation
-                         { index = name; estimate = r.Estimate.estimate })
+                      (Trace.Shortcut_estimation { index = name; estimate = est })
                   end;
-                  Some (r.Estimate.estimate, r.Estimate.exact)
+                  Some (est, r.Estimate.exact)
             end
           in
           match est_opt with
@@ -272,7 +298,7 @@ let run table meter trace ~restriction ~needed_columns ~order_by =
       in
       let union_candidates =
         if by_est = [] && self_sufficient = [] then
-          union_candidates table meter trace ~restriction ~nodes_spent
+          union_candidates table meter trace ~feedback_rate ~restriction ~nodes_spent
         else []
       in
       Arranged

@@ -40,10 +40,21 @@ val run :
   Table.t ->
   Cost.t ->
   Trace.t ->
+  feedback_rate:float ->
   restriction:Predicate.t ->
   needed_columns:string list ->
   order_by:string list ->
   decision
 (** [restriction] must be bound.  [needed_columns] is every column the
     query must produce or examine (for self-sufficiency).  Updates the
-    table's preferred index order as a side effect. *)
+    table's preferred index order as a side effect.
+
+    When [feedback_rate > 0.] every {i inexact} descent estimate is
+    scaled by the table's learned {!Feedback} factor for that
+    (index, ranges) cell before it is announced — a
+    [Trace.Feedback_applied] event precedes the [Estimated] event and
+    the candidate carries the corrected value, so competition
+    thresholds and switch points consume it.  Exact estimates are
+    never corrected (correction is cost-only by construction).  At
+    rate 0 (the default config) the path is byte-identical to the
+    uncorrected one. *)

@@ -25,6 +25,14 @@ type config = {
           unaffected.  Rows and order are invariant *)
   cost_quota : float option;
       (** per-query cost ceiling, checked at quantum boundaries *)
+  feedback_rate : float;
+      (** learning rate for the table's cardinality-feedback store
+          (DESIGN.md §13).  0. (the default) disables the loop
+          entirely — no corrections, no observations, no events:
+          byte-identical to a build without it.  Positive rates scale
+          inexact descent estimates by learned factors and fold each
+          completed scan's actual back in at [close].  Cost-only:
+          rows and order are invariant under any rate *)
   metrics : Rdb_util.Metrics.t option;
       (** observation-only registry; per-retrieval aggregates are
           recorded at [close] *)
@@ -41,6 +49,7 @@ let default_config =
     batch_budget = 0.0;
     bgr_enabled = true;
     cost_quota = None;
+    feedback_rate = 0.0;
     metrics = None;
   }
 
@@ -173,6 +182,10 @@ type cursor = {
   ordered_by_index : bool;
       (** delivery order came from an index: a fault fallback must
           re-sort the remainder to keep the stream ordered *)
+  feedback_pending : Scan.candidate list;
+      (** inexact planned candidates awaiting an actual: paired with
+          [Scan_completed] events at [close] and folded into the
+          table's feedback store (empty unless [feedback_rate > 0.]) *)
   delivered_rids : (Rid.t, unit) Hashtbl.t;
   mutable exclude_delivered : bool;
       (** set at fault fallback: the replacement Tscan must not
@@ -606,16 +619,17 @@ let open_ ?(config = default_config) table (req : request) =
   in
   let schema = Table.schema table in
   let order_ids = Array.of_list (List.map (Schema.index_of schema) req.order_by) in
-  let tactic, machine, classified_order =
-    if restriction = Predicate.False then (Cancelled, M_empty, false)
+  let tactic, machine, classified_order, feedback_pending =
+    if restriction = Predicate.False then (Cancelled, M_empty, false, [])
     else begin
       match
         match
-          Initial_stage.run table est_meter trace ~restriction
+          Initial_stage.run table est_meter trace
+            ~feedback_rate:config.feedback_rate ~restriction
             ~needed_columns:(needed_columns table req restriction)
             ~order_by:req.order_by
         with
-        | Initial_stage.No_rows _ -> (Cancelled, M_empty, false)
+        | Initial_stage.No_rows _ -> (Cancelled, M_empty, false, [])
         | Initial_stage.Arranged classified ->
             let tactic =
               decide table goal ~bgr:config.bgr_enabled ~order_by:req.order_by
@@ -638,7 +652,17 @@ let open_ ?(config = default_config) table (req : request) =
                   | [] -> false)
               | _ -> false
             in
-            (tactic, machine, ordered_delivery)
+            (* Candidates a completed scan can later teach from: the
+               inexact ones (exact estimates have nothing to learn). *)
+            let pending =
+              if config.feedback_rate > 0.0 then
+                List.filter
+                  (fun cand -> not cand.Scan.est_exact)
+                  (classified.Initial_stage.jscan_candidates
+                  @ classified.Initial_stage.union_candidates)
+              else []
+            in
+            (tactic, machine, ordered_delivery, pending)
       with
       | exception Fault.Injected f ->
           (* Planning faulted (estimation descent, clustering probe).
@@ -651,7 +675,7 @@ let open_ ?(config = default_config) table (req : request) =
           Trace.emit trace
             (Trace.Tactic_chosen
                { tactic = tactic_to_string Static_tscan; reason = "fault during planning" });
-          (Static_tscan, M_tscan (Tscan.create table fgr_meter restriction), false)
+          (Static_tscan, M_tscan (Tscan.create table fgr_meter restriction), false, [])
       | planned -> planned
     end
   in
@@ -675,6 +699,7 @@ let open_ ?(config = default_config) table (req : request) =
     presort = [];
     needs_sort;
     ordered_by_index = classified_order;
+    feedback_pending;
     delivered_rids = Hashtbl.create 64;
     exclude_delivered = false;
     driver = None;
@@ -993,6 +1018,65 @@ let is_degradation = function
       true
   | _ -> false
 
+(* Close the feedback loop (DESIGN.md §13): pair each inexact planned
+   candidate with the completed scan of the same index and fold the
+   (estimate, actual) observation into the table's feedback store.
+   Completed scans are the only observation source — [Scan_completed]
+   fires only when a range walk ran to end-of-range, so [scanned] is
+   the true range cardinality; discarded or truncated scans teach
+   nothing.  An index appearing more than once on either side (union
+   disjuncts can share an index) is skipped as ambiguous. *)
+let feed_back c events =
+  let rate = c.cfg.feedback_rate in
+  if rate > 0.0 && c.feedback_pending <> [] then begin
+    (* name -> (value, occurrences); an index seen more than once on
+       either side is ambiguous and teaches nothing. *)
+    let estimates = Hashtbl.create 4 in
+    let completions = Hashtbl.create 4 in
+    List.iter
+      (function
+        | Trace.Estimated { index; estimate; exact; _ } -> (
+            match Hashtbl.find_opt estimates index with
+            | Some (_, _, n) -> Hashtbl.replace estimates index (estimate, exact, n + 1)
+            | None -> Hashtbl.add estimates index (estimate, exact, 1))
+        | Trace.Scan_completed { index; scanned; _ } -> (
+            match Hashtbl.find_opt completions index with
+            | Some (_, n) -> Hashtbl.replace completions index (scanned, n + 1)
+            | None -> Hashtbl.add completions index (scanned, 1))
+        | _ -> ())
+      events;
+    let names =
+      List.map (fun cand -> cand.Scan.idx.Table.idx_name) c.feedback_pending
+    in
+    let unique name = List.length (List.filter (String.equal name) names) = 1 in
+    let observed = ref 0 in
+    List.iter
+      (fun cand ->
+        let name = cand.Scan.idx.Table.idx_name in
+        if unique name then
+          (* Teach only from a real announced descent (the pessimistic
+             whole-index default after an estimation shortcut emits no
+             [Estimated] event and must not skew the cell) that is
+             inexact (exact cells have nothing to learn), paired with
+             exactly one completed walk. *)
+          match
+            (Hashtbl.find_opt estimates name, Hashtbl.find_opt completions name)
+          with
+          | Some (est, false, 1), Some (scanned, 1) ->
+              Feedback.observe (Table.feedback c.table) ~rate ~name
+                ~key:cand.Scan.ranges ~est ~actual:(float_of_int scanned);
+              incr observed
+          | _ -> ())
+      c.feedback_pending;
+    match c.cfg.metrics with
+    | Some m when !observed > 0 ->
+        let module M = Rdb_util.Metrics in
+        M.add (M.counter m "feedback.observations") !observed;
+        M.set (M.gauge m "feedback.cells")
+          (float_of_int (Feedback.cells (Table.feedback c.table)))
+    | _ -> ()
+  end
+
 let record_metrics c events =
   match c.cfg.metrics with
   | None -> ()
@@ -1013,6 +1097,9 @@ let record_metrics c events =
         (List.length
            (List.filter (function Trace.Fault_detected _ -> true | _ -> false) events));
       add "retrieval.degradations" (List.length (List.filter is_degradation events));
+      add "feedback.applied"
+        (List.length
+           (List.filter (function Trace.Feedback_applied _ -> true | _ -> false) events));
       List.iter
         (fun e -> M.observe (M.histogram ~buckets:error_buckets m "retrieval.estimate_error") e)
         (estimate_errors events)
@@ -1048,6 +1135,7 @@ let close c =
         | None, None, None -> Completed
       in
       let events = Trace.events c.trace in
+      feed_back c events;
       record_metrics c events;
       let s =
         {

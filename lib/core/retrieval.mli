@@ -58,6 +58,17 @@ type config = {
   cost_quota : float option;
       (** per-query cost ceiling, checked at quantum boundaries; [None]
           disables the governor *)
+  feedback_rate : float;
+      (** learning rate for the table's cardinality-feedback store
+          (DESIGN.md §13; 0..1).  At the default [0.] the loop is off:
+          no corrections, no observations, no [Feedback_applied]
+          events — byte-identical traces and metrics to a build
+          without it.  At positive rates the initial stage scales
+          inexact descent estimates by the factors learned from
+          completed scans, and {!close} folds each completed scan's
+          actual cardinality back into {!Rdb_engine.Feedback}.  Like
+          every config knob it steers cost, never results: rows and
+          their order are invariant under any rate *)
   metrics : Rdb_util.Metrics.t option;
       (** observation-only registry: tactic choices, per-arm costs,
           switch points, and estimate-vs-actual error are recorded at

@@ -1,0 +1,55 @@
+type cell = { mutable factor : float }
+
+type t = {
+  buckets : int;
+  cells : (string * int, cell) Hashtbl.t;
+  mutable observations : int;
+}
+
+let create ?(buckets = 256) () =
+  if buckets <= 0 then invalid_arg "Feedback.create: buckets must be positive";
+  { buckets; cells = Hashtbl.create 16; observations = 0 }
+
+let reset t =
+  Hashtbl.reset t.cells;
+  t.observations <- 0
+
+let cells t = Hashtbl.length t.cells
+let observations t = t.observations
+
+(* [Hashtbl.hash] is the structural hash: deterministic across runs
+   and processes for the Value/range keys we feed it. *)
+let bucket t key = Hashtbl.hash key mod t.buckets
+
+let find t ~name ~key = Hashtbl.find_opt t.cells (name, bucket t key)
+let known t ~name ~key = find t ~name ~key <> None
+
+let factor t ~name ~key =
+  match find t ~name ~key with Some c -> c.factor | None -> 1.0
+
+let correct t ~name ~key est =
+  match find t ~name ~key with Some c -> est *. c.factor | None -> est
+
+(* Correction factors live in [1/64, 64]: a runaway cell (aliased
+   bucket, adversarial workload) can skew cost decisions but stays
+   within the range the competition machinery recovers from. *)
+let min_factor = 1. /. 64.
+let max_factor = 64.
+
+let observe t ~rate ~name ~key ~est ~actual =
+  let rate = Float.min 1.0 (Float.max 0.0 rate) in
+  if rate > 0.0 then begin
+    let est = Float.max 1.0 est and actual = Float.max 1.0 actual in
+    let id = (name, bucket t key) in
+    let cell =
+      match Hashtbl.find_opt t.cells id with
+      | Some c -> c
+      | None ->
+          let c = { factor = 1.0 } in
+          Hashtbl.replace t.cells id c;
+          c
+    in
+    let next = cell.factor *. ((actual /. est) ** rate) in
+    cell.factor <- Float.min max_factor (Float.max min_factor next);
+    t.observations <- t.observations + 1
+  end

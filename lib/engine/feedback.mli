@@ -1,0 +1,64 @@
+(** Feedback-driven estimation: a deterministic per-name/per-range
+    store of multiplicative corrections learned from observed scan
+    cardinalities (DESIGN.md §13).
+
+    The paper (§5) pre-orders indexes by the outcomes of previous
+    runs; this module closes the same loop for the *estimates*
+    themselves.  Each completed scan contributes an
+    (estimate, actual) pair; the store keeps one mutable correction
+    factor per (name, range-bucket) cell and nudges it toward
+    [actual / estimate] with a learning rate, so repeated workloads
+    converge onto observed cardinalities (online multiplicative
+    update à la adaptive cardinality estimation — Ivanov & Bartunov;
+    online learning for selectivity).
+
+    Invariants:
+    - {b Observation-only.}  Corrections scale inexact estimates,
+      which steer cost, never results.  Exact estimates (descent
+      reached a leaf) must not be corrected by callers — exactness is
+      what correctness-critical decisions gate on.
+    - {b Deterministic.}  Bucketing uses the polymorphic hash of the
+      structural key; no wall clock, no randomness.  The same
+      workload replays to the same factors.
+    - {b Config-gated.}  At learning rate 0 {!observe} is a no-op and
+      {!correct} is the identity, so the default configuration is
+      byte-identical to a build without this module. *)
+
+type t
+
+val create : ?buckets:int -> unit -> t
+(** Fresh empty store.  [buckets] (default 256) is the number of
+    range buckets each name's keys hash into; collisions merge cells,
+    trading resolution for bounded memory. *)
+
+val reset : t -> unit
+(** Drop every cell — the estimation re-seed after a structural
+    change ([Table.invalidate_stats], repair). *)
+
+val cells : t -> int
+(** Number of (name, bucket) cells holding a learned factor. *)
+
+val observations : t -> int
+(** Total observations ever folded in (0 after {!reset}). *)
+
+val bucket : t -> 'a -> int
+(** The deterministic bucket a key falls into (exposed for tests). *)
+
+val known : t -> name:string -> key:'a -> bool
+(** Whether a factor has been learned for this (name, bucket). *)
+
+val factor : t -> name:string -> key:'a -> float
+(** The learned correction factor, 1.0 when unknown. *)
+
+val correct : t -> name:string -> key:'a -> float -> float
+(** [correct t ~name ~key est] = [est *. factor]; the identity when
+    the cell is unknown. *)
+
+val observe : t -> rate:float -> name:string -> key:'a -> est:float -> actual:float -> unit
+(** Fold one completed-scan observation into the cell:
+    [factor <- factor *. (actual /. est) ** rate] with [est] and
+    [actual] clamped to [>= 1.0], [rate] clamped to [0, 1] and the
+    factor clamped to [1/64, 64].  In log space this is a stochastic
+    approximation that converges monotonically onto [actual /. est]
+    for a repeated identical range; [rate = 0.] is a no-op (the cell
+    is not even created). *)

@@ -55,7 +55,11 @@ let buckets t = Array.length t.counts
 let built_at_rows t = t.rows_at_build
 let build_cost t = t.build_cost
 
-let estimate_range t ~lo ~hi =
+(* Feedback cells for histogram estimates live under a name distinct
+   from any index so they never alias the descent-estimate cells. *)
+let feedback_name t = "histogram:" ^ t.column
+
+let raw_estimate_range t ~lo ~hi =
   if t.total <= 0.0 then 0.0
   else begin
     let n = Array.length t.counts in
@@ -78,9 +82,19 @@ let estimate_range t ~lo ~hi =
     end
   end
 
-let estimate_predicate t pred =
+let estimate_range ?feedback t ~lo ~hi =
+  let raw = raw_estimate_range t ~lo ~hi in
+  match feedback with
+  | None -> raw
+  | Some fb -> Feedback.correct fb ~name:(feedback_name t) ~key:(lo, hi) raw
+
+let observe_range t fb ~rate ~lo ~hi ~actual =
+  let est = estimate_range ~feedback:fb t ~lo ~hi in
+  Feedback.observe fb ~rate ~name:(feedback_name t) ~key:(lo, hi) ~est ~actual
+
+let estimate_predicate ?feedback t pred =
   let open Predicate in
-  let range lo hi = Some (estimate_range t ~lo ~hi) in
+  let range lo hi = Some (estimate_range ?feedback t ~lo ~hi) in
   match pred with
   | Cmp (c, op, Const v) when c = t.column -> (
       match Value.as_float v with
@@ -92,7 +106,7 @@ let estimate_predicate t pred =
           | Lt -> range None (Some x)
           | Ge -> range (Some x) None
           | Gt -> range (Some x) None
-          | Ne -> Some (t.total -. estimate_range t ~lo:(Some x) ~hi:(Some x))))
+          | Ne -> Some (t.total -. estimate_range ?feedback t ~lo:(Some x) ~hi:(Some x))))
   | Between (c, Const a, Const b) when c = t.column -> (
       match (Value.as_float a, Value.as_float b) with
       | Some x, Some y -> range (Some x) (Some y)

@@ -31,14 +31,26 @@ val built_at_rows : t -> int
 val build_cost : t -> float
 (** Pages read to build it. *)
 
-val estimate_range : t -> lo:float option -> hi:float option -> float
+val estimate_range : ?feedback:Feedback.t -> t -> lo:float option -> hi:float option -> float
 (** Estimated number of rows with [lo <= v <= hi] (either bound
     optional), with linear interpolation inside partially covered
-    buckets.  Reflects the data as of build time. *)
+    buckets.  Reflects the data as of build time — unless [feedback]
+    is supplied, in which case the raw estimate is scaled by the
+    factor learned from {!observe_range} for this (column, bounds)
+    cell (DESIGN.md §13): feedback is the online patch for the
+    method's staleness drawback. *)
 
-val estimate_predicate : t -> Predicate.t -> float option
+val observe_range :
+  t -> Feedback.t -> rate:float -> lo:float option -> hi:float option -> actual:float -> unit
+(** Fold the observed actual cardinality of the range back into the
+    feedback store (keyed under ["histogram:<column>"], never aliasing
+    index cells), so later {!estimate_range} calls with [feedback]
+    converge toward it. *)
+
+val estimate_predicate : ?feedback:Feedback.t -> t -> Predicate.t -> float option
 (** Estimate for a bound predicate on the histogram's column.  [None]
     when the predicate is not range-producing (LIKE, IS NULL, ...) —
-    the method's second drawback. *)
+    the method's second drawback.  [feedback] as in
+    {!estimate_range}. *)
 
 val pp : Format.formatter -> t -> unit

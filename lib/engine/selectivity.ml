@@ -18,7 +18,7 @@ let leading_index table col =
     (fun idx -> match idx.Table.key_columns with c :: _ -> c = col | [] -> false)
     (Table.indexes table)
 
-let leaf_dist ?bins table meter pred =
+let leaf_dist ?bins ?feedback table meter pred =
   let uncertain () = Dist.uniform ?bins () in
   match Predicate.columns pred with
   | [ col ] -> (
@@ -32,13 +32,21 @@ let leaf_dist ?bins table meter pred =
             if card = 0 then Dist.point ?bins 0.0
             else begin
               let r = Estimate.ranges idx.Table.tree meter extraction.Range_extract.ranges in
+              (* Same (index, ranges) cells the initial stage learns
+                 into: selectivity advice shares the corrections.
+                 Exact descents are never corrected. *)
+              let estimate =
+                match feedback with
+                | Some fb when not r.Estimate.exact ->
+                    Feedback.correct fb ~name:idx.Table.idx_name
+                      ~key:extraction.Range_extract.ranges r.Estimate.estimate
+                | _ -> r.Estimate.estimate
+              in
               let sel =
-                Rdb_util.Stats.clamp
-                  (r.Estimate.estimate /. float_of_int card)
-                  ~lo:0.0 ~hi:1.0
+                Rdb_util.Stats.clamp (estimate /. float_of_int card) ~lo:0.0 ~hi:1.0
               in
               let sd =
-                uncertainty_of_estimate ~estimate:r.Estimate.estimate ~cardinality:card
+                uncertainty_of_estimate ~estimate ~cardinality:card
                   ~exact:r.Estimate.exact ~split_level:r.Estimate.split_level
               in
               if sd <= 0.0 then Dist.point ?bins sel
@@ -47,24 +55,24 @@ let leaf_dist ?bins table meter pred =
           end))
   | _ -> uncertain ()
 
-let rec of_predicate ?bins table meter pred =
+let rec of_predicate ?bins ?feedback table meter pred =
   match pred with
   | Predicate.True -> Dist.point ?bins 1.0
   | Predicate.False -> Dist.point ?bins 0.0
-  | Predicate.Not x -> Dist.neg (of_predicate ?bins table meter x)
+  | Predicate.Not x -> Dist.neg (of_predicate ?bins ?feedback table meter x)
   | Predicate.And ts ->
-      fold_op ?bins table meter ~empty:1.0 ~op:(Dist.and_ ~corr:Dist.Unknown) ts
+      fold_op ?bins ?feedback table meter ~empty:1.0 ~op:(Dist.and_ ~corr:Dist.Unknown) ts
   | Predicate.Or ts ->
-      fold_op ?bins table meter ~empty:0.0 ~op:(Dist.or_ ~corr:Dist.Unknown) ts
+      fold_op ?bins ?feedback table meter ~empty:0.0 ~op:(Dist.or_ ~corr:Dist.Unknown) ts
   | Predicate.Cmp _ | Predicate.Cmp_col _ | Predicate.Between _ | Predicate.In_list _
   | Predicate.Is_null _ | Predicate.Is_not_null _ | Predicate.Like _ ->
-      leaf_dist ?bins table meter pred
+      leaf_dist ?bins ?feedback table meter pred
 
-and fold_op ?bins table meter ~empty ~op = function
+and fold_op ?bins ?feedback table meter ~empty ~op = function
   | [] -> Dist.point ?bins empty
-  | [ x ] -> of_predicate ?bins table meter x
+  | [ x ] -> of_predicate ?bins ?feedback table meter x
   | x :: rest ->
       List.fold_left
-        (fun acc y -> op acc (of_predicate ?bins table meter y))
-        (of_predicate ?bins table meter x)
+        (fun acc y -> op acc (of_predicate ?bins ?feedback table meter y))
+        (of_predicate ?bins ?feedback table meter x)
         rest

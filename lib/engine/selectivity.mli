@@ -11,9 +11,12 @@
 open Rdb_storage
 
 val of_predicate :
-  ?bins:int -> Table.t -> Cost.t -> Predicate.t -> Rdb_dist.Dist.t
+  ?bins:int -> ?feedback:Feedback.t -> Table.t -> Cost.t -> Predicate.t -> Rdb_dist.Dist.t
 (** Selectivity distribution of a bound restriction.  Estimation node
-    reads are charged to the meter. *)
+    reads are charged to the meter.  When [feedback] is supplied,
+    inexact leaf estimates are scaled by the factors the optimizer
+    learned for the same (index, ranges) cells (DESIGN.md §13) —
+    advice-only, like the distributions themselves. *)
 
 val uncertainty_of_estimate :
   estimate:float -> cardinality:int -> exact:bool -> split_level:int -> float

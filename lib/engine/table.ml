@@ -20,6 +20,7 @@ type t = {
   clustering_cache : (string, float * int) Hashtbl.t;
       (* index -> (factor, row_count at measurement) *)
   health : Health.t;
+  feedback : Feedback.t;
 }
 
 let create ?page_bytes pool ~name schema =
@@ -35,6 +36,7 @@ let create ?page_bytes pool ~name schema =
     preferred = [];
     clustering_cache = Hashtbl.create 4;
     health = Health.create ();
+    feedback = Feedback.create ();
   }
 
 let name t = t.name
@@ -214,9 +216,12 @@ let note_transition t = function
                (M.labeled "health.to_state" (Health.state_to_string tr.Health.tr_to))));
       Some tr
 
+let feedback t = t.feedback
+
 let invalidate_stats t =
   Hashtbl.reset t.clustering_cache;
-  t.preferred <- []
+  t.preferred <- [];
+  Feedback.reset t.feedback
 
 let replace_index t ~name:iname tree =
   match List.find_opt (fun i -> i.idx_name = iname) t.indexes with

@@ -78,6 +78,13 @@ val preferred_order : t -> string list
 
 val set_preferred_order : t -> string list -> unit
 
+val feedback : t -> Feedback.t
+(** The table's cardinality-feedback store ({!Feedback}): learned
+    multiplicative corrections from completed scans, consumed by the
+    initial stage when the retrieval config enables a learning rate.
+    Reset by {!invalidate_stats} (and therefore by {!replace_index})
+    because learned factors describe the old physical tree. *)
+
 (** {1 Self-healing} *)
 
 val heap_structure : string
@@ -106,8 +113,9 @@ val note_transition : t -> Health.transition option -> Health.transition option
     registry (when attached).  Callers emit the trace event. *)
 
 val invalidate_stats : t -> unit
-(** Drop the clustering cache and the adaptive preferred order — the
-    estimation re-seed after a structural change. *)
+(** Drop the clustering cache, the adaptive preferred order and the
+    learned feedback factors — the estimation re-seed after a
+    structural change. *)
 
 val replace_index : t -> name:string -> Btree.t -> unit
 (** Atomically swap in a rebuilt tree for the named index: the new

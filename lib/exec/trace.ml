@@ -1,6 +1,7 @@
 module Dynarray = Rdb_util.Dynarray
 
 type event =
+  | Feedback_applied of { index : string; raw : float; corrected : float }
   | Estimated of { index : string; estimate : float; exact : bool; nodes : int }
   | Empty_range of { index : string }
   | Shortcut_estimation of { index : string; estimate : float }
@@ -45,6 +46,10 @@ let events t = Dynarray.to_list t
 let count t pred = Dynarray.fold_left (fun acc e -> if pred e then acc + 1 else acc) 0 t
 
 let event_to_string = function
+  | Feedback_applied { index; raw; corrected } ->
+      Printf.sprintf "feedback on %s: raw estimate ~%.0f corrected to ~%.0f (%.2fx)" index
+        raw corrected
+        (corrected /. Float.max 1e-9 raw)
   | Estimated { index; estimate; exact; nodes } ->
       Printf.sprintf "estimate %s ~ %.0f rids%s (%d node reads)" index estimate
         (if exact then " (exact)" else "")

@@ -6,6 +6,10 @@
     the benchmark reports on strategy switching. *)
 
 type event =
+  | Feedback_applied of { index : string; raw : float; corrected : float }
+      (** the feedback store scaled an inexact descent estimate before
+          it was announced ([Estimated] then carries [corrected]);
+          cost-only — exact estimates are never corrected *)
   | Estimated of { index : string; estimate : float; exact : bool; nodes : int }
   | Empty_range of { index : string }
       (** §5: retrieval cancelled outright *)

@@ -589,6 +589,15 @@ let analyze_lines (s : Retrieval.summary) =
   let est_lines =
     List.filter_map
       (function
+        | T.Feedback_applied { index; raw; corrected } ->
+            (* Feedback corrections (DESIGN.md §13): show what the raw
+               descent said next to what the optimizer actually used. *)
+            Some
+              (Printf.sprintf
+                 "  analyze: %s feedback correction: raw estimate ~%.0f, used ~%.0f \
+                  (%.2fx learned)"
+                 index raw corrected
+                 (corrected /. Float.max 1.0 raw))
         | T.Estimated { index; estimate; exact; _ } -> (
             match Hashtbl.find_opt actuals index with
             | Some (kept, scanned) ->

@@ -137,7 +137,9 @@ let sort_rows rows = List.sort (fun a b -> Row.compare_at [| 0 |] a b) rows
 let stage table pred ?(needed = [ "ID"; "X"; "Y"; "S" ]) ?(order = []) () =
   let m = Rdb_storage.Cost.create () in
   let trace = Trace.create () in
-  (IS.run table m trace ~restriction:pred ~needed_columns:needed ~order_by:order, trace)
+  ( IS.run table m trace ~feedback_rate:0.0 ~restriction:pred ~needed_columns:needed
+      ~order_by:order,
+    trace )
 
 let test_initial_stage_orders_by_estimate () =
   let table = fixture () in

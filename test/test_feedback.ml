@@ -1,0 +1,304 @@
+(* Feedback-driven estimation (DESIGN.md §13).
+
+   Unit tests for the bucket-keyed correction math (identity at rate
+   0, monotone convergence toward the observed cardinality, clamping,
+   invalidation on [Table.invalidate_stats] and repair reseed), the
+   histogram feedback path, end-to-end trace identity when the loop
+   is off, and a qcheck property pinning the archetype invariant: on
+   an identical workload replayed for several generations, every
+   index's estimate-vs-actual error is non-increasing generation over
+   generation, while the delivered rows stay exactly the oracle
+   multiset. *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_exec
+module R = Rdb_core.Retrieval
+module Prng = Rdb_util.Prng
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-6))
+
+(* --- correction math ------------------------------------------------ *)
+
+let test_rate_zero_identity () =
+  let fb = Feedback.create () in
+  Feedback.observe fb ~rate:0.0 ~name:"I" ~key:1 ~est:10.0 ~actual:100.0;
+  check "no cell created at rate 0" true (Feedback.cells fb = 0);
+  check "no observation counted at rate 0" true (Feedback.observations fb = 0);
+  check "unknown" false (Feedback.known fb ~name:"I" ~key:1);
+  checkf "correct is the identity" 42.0 (Feedback.correct fb ~name:"I" ~key:1 42.0);
+  checkf "factor is 1" 1.0 (Feedback.factor fb ~name:"I" ~key:1)
+
+let test_one_step_at_rate_one () =
+  let fb = Feedback.create () in
+  Feedback.observe fb ~rate:1.0 ~name:"I" ~key:0 ~est:100.0 ~actual:400.0;
+  checkf "rate 1 nails the factor in one step" 400.0
+    (Feedback.correct fb ~name:"I" ~key:0 100.0);
+  check "cell exists" true (Feedback.known fb ~name:"I" ~key:0);
+  check "one observation" true (Feedback.observations fb = 1)
+
+let test_monotone_convergence () =
+  let fb = Feedback.create () in
+  let est () = Feedback.correct fb ~name:"I" ~key:0 100.0 in
+  let dist e = Float.abs (log (400.0 /. e)) in
+  let d = ref (dist (est ())) in
+  for _ = 1 to 12 do
+    Feedback.observe fb ~rate:0.5 ~name:"I" ~key:0 ~est:(est ()) ~actual:400.0;
+    let d' = dist (est ()) in
+    check "log distance never grows" true (d' <= !d +. 1e-9);
+    d := d'
+  done;
+  check "converged within 1%" true (Float.abs (est () -. 400.0) /. 400.0 < 0.01)
+
+let test_clamps () =
+  let fb = Feedback.create () in
+  Feedback.observe fb ~rate:1.0 ~name:"I" ~key:0 ~est:1.0 ~actual:1e9;
+  checkf "factor capped at 64x" 64.0 (Feedback.factor fb ~name:"I" ~key:0);
+  let fb = Feedback.create () in
+  Feedback.observe fb ~rate:1.0 ~name:"I" ~key:0 ~est:1e9 ~actual:1.0;
+  checkf "factor floored at 1/64" (1. /. 64.) (Feedback.factor fb ~name:"I" ~key:0);
+  (* A rate beyond 1 is clamped: no overshoot past the observation. *)
+  let fb = Feedback.create () in
+  Feedback.observe fb ~rate:5.0 ~name:"I" ~key:0 ~est:100.0 ~actual:400.0;
+  checkf "rate clamped to 1" 400.0 (Feedback.correct fb ~name:"I" ~key:0 100.0)
+
+let test_bucketing_is_deterministic () =
+  let fb = Feedback.create () in
+  check "same key, same bucket" true (Feedback.bucket fb (3, "k") = Feedback.bucket fb (3, "k"));
+  Feedback.observe fb ~rate:1.0 ~name:"A" ~key:(3, "k") ~est:10.0 ~actual:20.0;
+  (* Same bucket under a different name is a different cell. *)
+  check "names do not alias" false (Feedback.known fb ~name:"B" ~key:(3, "k"));
+  Feedback.reset fb;
+  check "reset drops cells" true (Feedback.cells fb = 0 && Feedback.observations fb = 0);
+  check "reset forgets" false (Feedback.known fb ~name:"A" ~key:(3, "k"))
+
+(* --- table integration --------------------------------------------- *)
+
+let schema =
+  Schema.make
+    [ Schema.col "ID" Value.T_int; Schema.col "X" Value.T_int; Schema.col "Y" Value.T_int ]
+
+let build_table ?(rows = 400) ?(xmax = 1000) ~seed () =
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:256 in
+  let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
+  let rng = Prng.create ~seed in
+  for i = 0 to rows - 1 do
+    ignore
+      (Table.insert table
+         [| Value.int i; Value.int (Prng.int rng xmax); Value.int (Prng.int rng xmax) |])
+  done;
+  ignore (Table.create_index table ~name:"X_IDX" ~columns:[ "X" ] ());
+  ignore (Table.create_index table ~name:"Y_IDX" ~columns:[ "Y" ] ());
+  table
+
+let teach table =
+  Feedback.observe (Table.feedback table) ~rate:1.0 ~name:"X_IDX" ~key:"k" ~est:10.0
+    ~actual:30.0
+
+let test_invalidate_stats_resets () =
+  let table = build_table ~seed:5 () in
+  teach table;
+  check "taught" true (Feedback.observations (Table.feedback table) = 1);
+  Table.invalidate_stats table;
+  check "invalidate_stats resets the store" true
+    (Feedback.observations (Table.feedback table) = 0
+    && not (Feedback.known (Table.feedback table) ~name:"X_IDX" ~key:"k"))
+
+let test_repair_reseed_resets () =
+  let table = build_table ~seed:6 () in
+  teach table;
+  (* Rebuild X_IDX the way repair does and swap it in: learned factors
+     describe the old physical tree and must not survive. *)
+  let idx = Option.get (Table.find_index table "X_IDX") in
+  let meter = Table.build_meter table in
+  let tree = Rdb_btree.Btree.create (Table.pool table) in
+  Rdb_storage.Heap_file.iter (Table.heap table) meter (fun rid row ->
+      Rdb_btree.Btree.insert tree meter (Table.index_key idx row) rid);
+  Table.replace_index table ~name:"X_IDX" tree;
+  check "replace_index reseeds the store" true
+    (Feedback.observations (Table.feedback table) = 0)
+
+(* --- histogram feedback path --------------------------------------- *)
+
+let test_histogram_feedback () =
+  let table = build_table ~seed:7 ~rows:500 () in
+  let m = Rdb_storage.Cost.create () in
+  let h = Histogram.build table ~column:"X" m in
+  let lo = Some 100.0 and hi = Some 400.0 in
+  let raw = Histogram.estimate_range h ~lo ~hi in
+  let fb = Feedback.create () in
+  checkf "no observation: corrected = raw" raw (Histogram.estimate_range ~feedback:fb h ~lo ~hi);
+  Histogram.observe_range h fb ~rate:1.0 ~lo ~hi ~actual:(3.0 *. raw);
+  checkf "converges on the observed actual" (3.0 *. raw)
+    (Histogram.estimate_range ~feedback:fb h ~lo ~hi);
+  checkf "plain estimate untouched" raw (Histogram.estimate_range h ~lo ~hi)
+
+(* --- end-to-end: identity off, convergence on ----------------------- *)
+
+let oracle table pred =
+  let m = Rdb_storage.Cost.create () in
+  let out = ref [] in
+  Rdb_storage.Heap_file.iter (Table.heap table) m (fun _ row ->
+      if Predicate.eval pred (Table.schema table) row then out := row :: !out);
+  List.rev !out
+
+let sort_rows rows = List.sort (fun a b -> Row.compare_at [| 0 |] a b) rows
+
+(* Narrow enough that Jscan walks both index ranges to completion
+   (wider spans get every scan discarded mid-competition, and a
+   discarded scan teaches nothing — only full walks observe the true
+   range cardinality). *)
+let wide_pred =
+  let open Predicate in
+  And
+    [
+      between "X" (Value.int 100) (Value.int 199);
+      between "Y" (Value.int 150) (Value.int 249);
+    ]
+
+let test_default_config_is_identical () =
+  (* Two fresh identical tables, one queried at the default config and
+     one at an explicit rate 0: traces (and therefore costs and every
+     decision) must be byte-identical, and neither teaches the store. *)
+  let run config =
+    let table = build_table ~seed:21 ~rows:3000 () in
+    let _, (s : R.summary) = R.run ?config table (R.request wide_pred) in
+    (s.R.trace, Feedback.observations (Table.feedback table))
+  in
+  let trace_a, obs_a = run None in
+  let trace_b, obs_b = run (Some { R.default_config with R.feedback_rate = 0.0 }) in
+  check "traces identical" true (trace_a = trace_b);
+  check "store untouched" true (obs_a = 0 && obs_b = 0)
+
+(* Per-index inexact estimate-vs-actual error factors from a trace. *)
+let errors_by_index events =
+  let completed = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Trace.Scan_completed { index; scanned; _ } -> Hashtbl.replace completed index scanned
+      | _ -> ())
+    events;
+  List.filter_map
+    (function
+      | Trace.Estimated { index; estimate; exact = false; _ } -> (
+          match Hashtbl.find_opt completed index with
+          | Some scanned ->
+              let actual = Float.max 1.0 (float_of_int scanned) in
+              let est = Float.max 1.0 estimate in
+              Some (index, Float.max (est /. actual) (actual /. est))
+          | None -> None)
+      | _ -> None)
+    events
+
+let test_repeated_query_converges () =
+  let table = build_table ~seed:22 ~rows:4000 () in
+  let expected = sort_rows (oracle table wide_pred) in
+  let config = { R.default_config with R.feedback_rate = 1.0 } in
+  let gen () =
+    let rows, (s : R.summary) = R.run ~config table (R.request wide_pred) in
+    check "rows equal the oracle every generation" true (sort_rows rows = expected);
+    s.R.trace
+  in
+  let corrections trace =
+    List.length
+      (List.filter (function Trace.Feedback_applied _ -> true | _ -> false) trace)
+  in
+  let t1 = gen () in
+  check "generation 1 plans uncorrected" true (corrections t1 = 0);
+  check "generation 1 completed an inexact scan" true (errors_by_index t1 <> []);
+  let t2 = gen () in
+  check "generation 2 plans with corrections" true (corrections t2 > 0);
+  check "observations recorded" true (Feedback.observations (Table.feedback table) > 0);
+  (* Errors for every index present in both generations must not grow;
+     at rate 1 a re-observed index is corrected onto its actual. *)
+  let e1 = errors_by_index t1 and e2 = errors_by_index t2 in
+  List.iter
+    (fun (idx, err2) ->
+      match List.assoc_opt idx e1 with
+      | Some err1 -> check ("error non-increasing on " ^ idx) true (err2 <= err1 +. 1e-6)
+      | None -> ())
+    e2
+
+(* --- qcheck: the archetype property --------------------------------- *)
+
+(* Vacuity guard: across the whole qcheck sweep, corrections must have
+   actually fired (otherwise the property passes without testing
+   anything). *)
+let corrections_seen = ref 0
+
+let prop_error_non_increasing =
+  QCheck.Test.make
+    ~name:"per-index estimate error non-increasing across generations, rows invariant"
+    ~count:40
+    QCheck.(triple (int_bound 1_000_000) (int_range 1000 3000) (int_bound 2))
+    (fun (seed, rows, ri) ->
+      let rate = [| 0.25; 0.5; 1.0 |].(ri) in
+      let table = build_table ~seed ~rows () in
+      let rng = Prng.create ~seed:(seed + 13) in
+      let span () =
+        let lo = Prng.int rng 700 and w = 50 + Prng.int rng 250 in
+        (lo, lo + w)
+      in
+      let xlo, xhi = span () and ylo, yhi = span () in
+      let pred =
+        let open Predicate in
+        And
+          [
+            between "X" (Value.int xlo) (Value.int xhi);
+            between "Y" (Value.int ylo) (Value.int yhi);
+          ]
+      in
+      let expected = sort_rows (oracle table pred) in
+      let config = { R.default_config with R.feedback_rate = rate } in
+      let last_err = Hashtbl.create 4 in
+      let ok = ref true in
+      for _ = 1 to 4 do
+        let rows', (s : R.summary) = R.run ~config table (R.request pred) in
+        if sort_rows rows' <> expected then ok := false;
+        List.iter
+          (fun e ->
+            match e with Trace.Feedback_applied _ -> incr corrections_seen | _ -> ())
+          s.R.trace;
+        List.iter
+          (fun (idx, err) ->
+            (match Hashtbl.find_opt last_err idx with
+            | Some prev -> if err > prev +. 1e-6 then ok := false
+            | None -> ());
+            Hashtbl.replace last_err idx err)
+          (errors_by_index s.R.trace)
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "rdb_feedback"
+    [
+      ( "math",
+        [
+          Alcotest.test_case "rate 0 is the identity" `Quick test_rate_zero_identity;
+          Alcotest.test_case "rate 1 one-step" `Quick test_one_step_at_rate_one;
+          Alcotest.test_case "monotone convergence" `Quick test_monotone_convergence;
+          Alcotest.test_case "clamps" `Quick test_clamps;
+          Alcotest.test_case "bucketing" `Quick test_bucketing_is_deterministic;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "invalidate_stats resets" `Quick test_invalidate_stats_resets;
+          Alcotest.test_case "repair reseed resets" `Quick test_repair_reseed_resets;
+        ] );
+      ( "histogram",
+        [ Alcotest.test_case "histogram feedback path" `Quick test_histogram_feedback ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "default config byte-identical" `Quick
+            test_default_config_is_identical;
+          Alcotest.test_case "repeated query converges" `Quick test_repeated_query_converges;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_error_non_increasing;
+          (* runs after the property (alcotest is sequential) *)
+          Alcotest.test_case "corrections were exercised" `Quick (fun () ->
+              check "saw at least one correction" true (!corrections_seen > 0));
+        ] );
+    ]

@@ -275,6 +275,53 @@ let repair_trace_output () =
     (Health.report (Table.health table) ~now:(Table.now table));
   Buffer.contents buf
 
+(* --- feedback trace (DESIGN.md §13) ---------------------------------- *)
+
+(* The same conjunction replayed three times at full learning rate:
+   generation 1 plans on raw descent estimates and teaches the store
+   when its scans complete; generations 2-3 announce Feedback_applied
+   corrections before the competition.  The closing EXPLAIN ANALYZE
+   shows the corrected-vs-raw line on the SQL surface. *)
+let feedback_trace_output () =
+  let db = Database.create ~pool_capacity:256 () in
+  let table = build_xy db in
+  let pool = Database.pool db in
+  let config = { R.default_config with R.feedback_rate = 1.0 } in
+  let pred =
+    let open Predicate in
+    And
+      [
+        between "X" (Value.int 10) (Value.int 19);
+        between "Y" (Value.int 100) (Value.int 299);
+      ]
+  in
+  let buf = Buffer.create 1024 in
+  for gen = 1 to 3 do
+    Buffer_pool.flush pool;
+    let _, summary =
+      R.run ~config table (R.request ~explicit_goal:Goal.Total_time pred)
+    in
+    Buffer.add_string buf (Printf.sprintf "== generation %d ==\n" gen);
+    List.iter
+      (fun e -> Buffer.add_string buf ("  " ^ Rdb_exec.Trace.event_to_string e ^ "\n"))
+      summary.R.trace;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer_pool.flush pool;
+  let sql =
+    "EXPLAIN ANALYZE SELECT ID FROM T WHERE X >= 10 AND X <= 19 AND Y >= 100 AND Y \
+     <= 299"
+  in
+  Buffer.add_string buf ("> " ^ sql ^ "\n");
+  let r = Executor.execute_sql ~config db sql in
+  List.iter
+    (fun row ->
+      match row with
+      | [ v ] -> Buffer.add_string buf (Value.to_string v ^ "\n")
+      | _ -> assert false)
+    r.Executor.rows;
+  Buffer.contents buf
+
 (* --- scheduler report ------------------------------------------------ *)
 
 let scheduler_report_output () =
@@ -362,5 +409,7 @@ let () =
               check_golden "check_repair" (check_repair_output ()));
           Alcotest.test_case "repair trace" `Quick (fun () ->
               check_golden "repair_trace" (repair_trace_output ()));
+          Alcotest.test_case "feedback trace" `Quick (fun () ->
+              check_golden "feedback_trace" (feedback_trace_output ()));
         ] );
     ]

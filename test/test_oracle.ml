@@ -126,6 +126,8 @@ let random_config rng =
     R.speed_ratio = 0.25 +. Prng.float rng 3.0;
     R.batch_budget =
       (match Prng.int rng 4 with 0 -> 0.0 | 1 -> 1.0 | 2 -> 7.0 | _ -> 64.0);
+    R.feedback_rate =
+      (match Prng.int rng 3 with 0 -> 0.0 | 1 -> 0.25 +. Prng.float rng 0.5 | _ -> 1.0);
   }
 
 (* Every strategy that must agree, as (name, rows) thunks.  The dynamic
@@ -142,6 +144,15 @@ let strategies ~note rng table pred env =
     ("dynamic fast-first", dyn (R.request ~env ~explicit_goal:Goal.Fast_first pred));
     ("dynamic sorted", dyn (R.request ~env ~order_by:[ "Y" ] pred));
     ("dynamic random config", dyn ~config:(random_config rng) (R.request ~env pred));
+    (* Run the same request twice at full learning rate: the second run
+       plans with whatever the first one taught the table's feedback
+       store, and must still produce the oracle rows (corrections steer
+       cost, never results). *)
+    ( "dynamic feedback repeat",
+      fun () ->
+        let config = { R.default_config with R.feedback_rate = 1.0 } in
+        ignore (dyn ~config (R.request ~env pred) ());
+        dyn ~config (R.request ~env pred) () );
     ("raw tscan", fun () -> raw_tscan table bound);
     ("static mean-point [SACL79]", fun () ->
         let plan = SO.compile table pred ~env:[] in
