@@ -37,7 +37,7 @@ let schema =
 type fixture = { table : Table.t; pool : Buffer_pool.t }
 
 let fixture ?(rows = 12000) () =
-  let pool = Buffer_pool.create ~capacity:512 in
+  let pool = Buffer_pool.create ~capacity:512 () in
   let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
   let rng = Rdb_util.Prng.create ~seed:23 in
   for i = 0 to rows - 1 do

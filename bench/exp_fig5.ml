@@ -12,7 +12,7 @@ let name = "fig5"
 let description = "Figure 5: descent-to-split-node range estimation accuracy & cost"
 
 let build ~fanout ~n ~key_space =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 () in
   let t = Btree.create ~fanout pool in
   let m = Rdb_storage.Cost.create () in
   let rng = Rdb_util.Prng.create ~seed:17 in

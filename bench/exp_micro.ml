@@ -11,7 +11,7 @@ let name = "micro"
 let description = "bechamel micro-benchmarks of core operations"
 
 let make_btree n =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 () in
   let t = Rdb_btree.Btree.create ~fanout:64 pool in
   let m = Rdb_storage.Cost.create () in
   let rng = Rdb_util.Prng.create ~seed:3 in
@@ -35,7 +35,7 @@ let tests () =
   for i = 0 to 999 do
     Rdb_rid.Bitmap.add bitmap (Rdb_data.Rid.make ~page:i ~slot:0)
   done;
-  let insert_pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 in
+  let insert_pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 () in
   let insert_tree = Rdb_btree.Btree.create ~fanout:64 insert_pool in
   let counter = ref 0 in
   [

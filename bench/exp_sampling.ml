@@ -14,7 +14,7 @@ let description = "pseudo-ranked vs acceptance/rejection B-tree sampling ([Ant92
 
 let run () =
   Bench_common.section "Experiment sampling — B+-tree random sampling";
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:100_000 () in
   let t = Btree.create ~fanout:32 pool in
   let m = Rdb_storage.Cost.create () in
   let rng = Rdb_util.Prng.create ~seed:53 in

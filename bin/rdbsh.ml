@@ -1,6 +1,7 @@
 (* rdbsh — interactive SQL shell over the dynamic-optimization engine.
 
-   Usage: rdbsh [--demo] [--pool N] [--concurrent] [-e SQL] [--file SCRIPT]
+   Usage: rdbsh [--demo] [--pool N] [--shards N] [--concurrent] [-e SQL]
+                [--file SCRIPT]
 
    Statements may span lines and end with ';' (interactive mode reads
    until the terminator).  Scripts are executed statement by
@@ -14,8 +15,10 @@
      .unset NAME        remove a binding
      .params            show bindings
      .health            per-structure health states (self-healing registry)
-     .concurrent [I] [N] [SEED]  N queries through the session scheduler,
-                        I in-flight, workload seeded with SEED (default 7)
+     .concurrent [I] [N] [SEED] [SHARDS]  N queries through the session
+                        scheduler, I in-flight, workload seeded with SEED
+                        (default 7), buffer pool split into SHARDS LRU
+                        shards (default: leave the pool as-is)
      .quit              exit
 
    Anything else is SQL; EXPLAIN SELECT ... shows the dynamic
@@ -50,9 +53,11 @@ let load_demo db =
 (* .concurrent / --concurrent: drive a seeded mixed workload through
    the multi-query session scheduler against the shared pool and print
    its report (the scheduler's EXPLAIN). *)
-let run_concurrent db inflight count seed =
-  if inflight < 1 then failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED]";
-  if count < 1 then failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED]";
+let run_concurrent db ?shards inflight count seed =
+  let usage = "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED] [SHARDS>=1]" in
+  if inflight < 1 then failwith usage;
+  if count < 1 then failwith usage;
+  (match shards with Some n when n < 1 -> failwith usage | _ -> ());
   load_demo db;
   let table = Database.table db "ORDERS" in
   let specs = Rdb_workload.Traffic.orders_mix ~seed ~count () in
@@ -64,6 +69,7 @@ let run_concurrent db inflight count seed =
         {
           S.default_config with
           S.max_inflight = inflight;
+          S.pool_shards = shards;
           S.retrieval = retrieval_config;
           S.metrics = Some registry;
         }
@@ -81,9 +87,16 @@ let run_concurrent db inflight count seed =
                  else None)
               sp.Rdb_workload.Traffic.pred)))
     specs;
-  Printf.printf "%d queries (seed %d), max %d in-flight, shared pool of %d blocks:\n"
-    count seed inflight
-    (Rdb_storage.Buffer_pool.capacity (Database.pool db));
+  let shard_note =
+    match shards with
+    | Some n when n > 1 -> Printf.sprintf " in %d shards" n
+    | _ -> ""
+  in
+  Printf.printf
+    "%d queries (seed %d), max %d in-flight, shared pool of %d blocks%s:\n" count seed
+    inflight
+    (Rdb_storage.Buffer_pool.capacity (Database.pool db))
+    shard_note;
   print_string (S.report_to_string (S.run sched))
 
 let show_tables db =
@@ -161,7 +174,7 @@ let meta db line =
   | [ ".help" ] ->
       print_endline
         ".tables | .demo | .set NAME VALUE | .unset NAME | .params | .flush | .stats | \
-         .health | .concurrent [INFLIGHT] [COUNT] [SEED] | .quit — else SQL \
+         .health | .concurrent [INFLIGHT] [COUNT] [SEED] [SHARDS] | .quit — else SQL \
          (SELECT/INSERT/UPDATE/DELETE/CREATE/EXPLAIN/CHECK/REPAIR)"
   | [ ".tables" ] -> show_tables db
   | [ ".demo" ] -> load_demo db
@@ -170,9 +183,17 @@ let meta db line =
       print_endline "buffer pool flushed"
   | [ ".stats" ] ->
       let pool = Database.pool db in
-      Printf.printf "buffer pool: %d/%d blocks resident\n"
-        (Rdb_storage.Buffer_pool.resident pool)
-        (Rdb_storage.Buffer_pool.capacity pool);
+      let module P = Rdb_storage.Buffer_pool in
+      Printf.printf "buffer pool: %d/%d blocks resident\n" (P.resident pool)
+        (P.capacity pool);
+      if P.shards pool > 1 then
+        Printf.printf "shards: %d, lookup balance %.2f (resident %s; lookups %s)\n"
+          (P.shards pool)
+          (P.shard_lookup_balance pool)
+          (String.concat "/"
+             (Array.to_list (Array.map string_of_int (P.shard_residents pool))))
+          (String.concat "/"
+             (Array.to_list (Array.map string_of_int (P.shard_lookups pool))));
       Printf.printf "lifetime charges: %s\n"
         (Format.asprintf "%a" Rdb_storage.Cost.pp
            (Rdb_storage.Buffer_pool.global_meter pool));
@@ -198,20 +219,20 @@ let meta db line =
         (Database.tables db);
       if not !any then print_endline "all structures healthy (nothing reported)"
   | ".concurrent" :: rest ->
+      let usage = "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED] [SHARDS>=1]" in
       let int_arg s =
-        match int_of_string_opt s with
-        | Some n -> n
-        | None -> failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED]"
+        match int_of_string_opt s with Some n -> n | None -> failwith usage
       in
-      let inflight, count, seed =
+      let inflight, count, seed, shards =
         match rest with
-        | [] -> (4, 12, 7)
-        | [ i ] -> (int_arg i, 12, 7)
-        | [ i; c ] -> (int_arg i, int_arg c, 7)
-        | [ i; c; s ] -> (int_arg i, int_arg c, int_arg s)
-        | _ -> failwith "usage: .concurrent [INFLIGHT>=1] [COUNT>=1] [SEED]"
+        | [] -> (4, 12, 7, None)
+        | [ i ] -> (int_arg i, 12, 7, None)
+        | [ i; c ] -> (int_arg i, int_arg c, 7, None)
+        | [ i; c; s ] -> (int_arg i, int_arg c, int_arg s, None)
+        | [ i; c; s; sh ] -> (int_arg i, int_arg c, int_arg s, Some (int_arg sh))
+        | _ -> failwith usage
       in
-      run_concurrent db inflight count seed
+      run_concurrent db ?shards inflight count seed
   | [ ".params" ] ->
       List.iter (fun (k, v) -> Printf.printf ":%s = %s\n" k (Value.to_string v)) !params
   | [ ".set"; name; value ] ->
@@ -314,8 +335,8 @@ let repl db =
   in
   loop ()
 
-let main demo pool concurrent commands script =
-  let db = Database.create ~pool_capacity:pool () in
+let main demo pool shards concurrent commands script =
+  let db = Database.create ~pool_capacity:pool ~pool_shards:shards () in
   Rdb_storage.Buffer_pool.set_metrics (Database.pool db) (Some registry);
   if demo then load_demo db;
   if concurrent then protect (fun () -> run_concurrent db 4 12 7);
@@ -339,6 +360,15 @@ let demo_flag =
 
 let pool_opt =
   Arg.(value & opt int 256 & info [ "pool" ] ~docv:"BLOCKS" ~doc:"Buffer pool capacity.")
+
+let shards_opt =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the buffer pool into $(docv) independent LRU shards (cost and \
+           contention only — results are invariant; 1 is the classic monolithic \
+           pool).")
 
 let concurrent_flag =
   Arg.(
@@ -364,6 +394,8 @@ let cmd =
   let doc = "SQL shell over the Rdb/VMS-style dynamic query optimizer" in
   Cmd.v
     (Cmd.info "rdbsh" ~doc)
-    Term.(const main $ demo_flag $ pool_opt $ concurrent_flag $ exec_opt $ script_opt)
+    Term.(
+      const main $ demo_flag $ pool_opt $ shards_opt $ concurrent_flag $ exec_opt
+      $ script_opt)
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,7 @@ type config = {
   max_queue : int;
   shed_policy : shed_policy;
   pressure_threshold : int;
+  pool_shards : int option;
   retrieval : Retrieval.config;
   record_events : bool;
   metrics : Rdb_util.Metrics.t option;
@@ -27,6 +28,7 @@ let default_config =
     max_queue = max_int;
     shed_policy = Shed_newest;
     pressure_threshold = max_int;
+    pool_shards = None;
     retrieval = Retrieval.default_config;
     record_events = true;
     metrics = None;
@@ -92,6 +94,9 @@ type pool_stats = {
   p_served : int;
   p_shed : int;
   p_timed_out : int;
+  p_shards : int;
+  p_shard_lookups : int array;
+  p_lookup_balance : float;
 }
 
 type report = {
@@ -282,11 +287,28 @@ let run t =
   t.ran <- true;
   let all = List.rev t.jobs in
   let pool = Database.pool t.db in
+  (* Repartition before the first access so every block of the run maps
+     through the requested shard count.  Resharding drops residency
+     (cost-only — a flush); a pool already at the requested count is
+     left untouched, so [Some 1] on a fresh single-shard pool is
+     byte-identical to [None]. *)
+  (match t.cfg.pool_shards with
+  | None -> ()
+  | Some n -> if Buffer_pool.shards pool <> n then Buffer_pool.reshard pool ~shards:n);
   let meter0 = Cost.snapshot (Buffer_pool.global_meter pool) in
+  let shard_lookups0 = Buffer_pool.shard_lookups pool in
   (* Everyone starts unarrived — the first [arrive] at tick 0 moves the
      arrive-at-0 submissions in, so the deadline-on-arrival check is
-     one code path. *)
-  let unarrived = ref all in
+     one code path.  Sorted by arrival tick so each [arrive] peels a
+     prefix instead of partitioning the whole remainder (the partition
+     was quadratic in submissions across the run — visible at
+     thousand-session storms). *)
+  let unarrived =
+    ref
+      (List.sort
+         (fun a b -> compare (a.j_arrive_at, a.j_id) (b.j_arrive_at, b.j_id))
+         all)
+  in
   let pending = ref [] in
   let active = ref [] in
   let tick = ref 0 in
@@ -343,8 +365,15 @@ let run t =
      deadline that is already spent on arrival (<= 0) exits right here
      with a structured timeout: no cursor, no planning cost. *)
   let arrive () =
-    let now, later = List.partition (fun j -> j.j_arrive_at <= !tick) !unarrived in
+    let rec peel acc = function
+      | j :: rest when j.j_arrive_at <= !tick -> peel (j :: acc) rest
+      | rest -> (acc, rest)
+    in
+    let now_rev, later = peel [] !unarrived in
     unarrived := later;
+    (* Process the batch in submission order (the peel yields
+       arrival-tick order) so the event log is unchanged. *)
+    let now = List.sort (fun a b -> compare a.j_id b.j_id) now_rev in
     List.iter
       (fun j ->
         j.j_arrived_tick <- !tick;
@@ -508,17 +537,21 @@ let run t =
            job, so the loop terminates. *)
         match !unarrived with
         | [] -> ()
-        | js ->
-            let next_at =
-              List.fold_left (fun acc j -> min acc j.j_arrive_at) max_int js
-            in
-            tick := max !tick next_at;
+        | j :: _ ->
+            (* sorted by arrival tick: the head is the next arrival *)
+            tick := max !tick j.j_arrive_at;
             loop ())
   in
   loop ();
   let meter1 = Buffer_pool.global_meter pool in
   let physical = Cost.physical_reads meter1 - Cost.physical_reads meter0 in
   let logical = Cost.logical_reads meter1 - Cost.logical_reads meter0 in
+  (* Probes this run performed, per shard (the pool counters are
+     lifetime totals; shard count is constant during a run). *)
+  let shard_lookups =
+    Array.map2 ( - ) (Buffer_pool.shard_lookups pool) shard_lookups0
+  in
+  let lookup_balance = Buffer_pool.lookup_balance shard_lookups in
   let outcome_of j = match j.j_outcome with Some o -> o | None -> Served in
   let sessions =
     List.filter_map
@@ -596,6 +629,10 @@ let run t =
       M.set (M.gauge m "session.hit_rate")
         (if physical + logical = 0 then 1.0
          else float_of_int logical /. float_of_int (physical + logical));
+      (* balance gauge only on a partitioned pool, mirroring the
+         pool.shard<k>.* counters: shards = 1 records nothing new *)
+      if Buffer_pool.shards pool > 1 then
+        M.set (M.gauge m "pool.lookup_balance") lookup_balance;
       List.iter
         (fun s ->
           M.observe (M.histogram m "session.quanta") (float_of_int s.s_quanta);
@@ -619,6 +656,9 @@ let run t =
         p_served = served;
         p_shed = shed;
         p_timed_out = timed_out;
+        p_shards = Buffer_pool.shards pool;
+        p_shard_lookups = shard_lookups;
+        p_lookup_balance = lookup_balance;
       };
     events = List.rev t.events;
   }
@@ -685,6 +725,14 @@ let report_to_string r =
         charged %.1f, max in-flight %d\n"
        r.pool.p_grants r.pool.p_physical r.pool.p_logical r.pool.p_hit_rate
        r.pool.p_total_cost r.pool.p_max_inflight_seen);
+  (* Single-shard reports are byte-identical to the pre-sharding
+     scheduler; the shard line only exists on a partitioned pool. *)
+  if r.pool.p_shards > 1 then
+    Buffer.add_string buf
+      (Printf.sprintf "shards: %d, lookup balance %.2f (lookups %s)\n"
+         r.pool.p_shards r.pool.p_lookup_balance
+         (String.concat "/"
+            (Array.to_list (Array.map string_of_int r.pool.p_shard_lookups))));
   Buffer.add_string buf
     (Printf.sprintf "admissions: %d served + %d shed + %d timed out = %d submitted\n"
        r.pool.p_served r.pool.p_shed r.pool.p_timed_out r.pool.p_submitted);

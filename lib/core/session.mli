@@ -76,6 +76,13 @@ type config = {
       (** queue depth at (and beyond) which newly admitted queries are
           degraded — competitive background refinement disabled, rows
           invariant; [max_int] — the default — never degrades *)
+  pool_shards : int option;
+      (** repartition the database's buffer pool into this many
+          independent LRU shards before the run
+          ({!Rdb_storage.Buffer_pool.reshard} — residency dropped,
+          cost-only).  Sharding steers contention and cost, never
+          results.  [None] — the default — leaves the pool as created;
+          [Some 1] on a single-shard pool is byte-identical to [None] *)
   retrieval : Retrieval.config;  (** default per-query config *)
   record_events : bool;  (** keep the scheduler event log (golden tests) *)
   metrics : Rdb_util.Metrics.t option;
@@ -154,6 +161,13 @@ type pool_stats = {
   p_shed : int;
   p_timed_out : int;
       (** exact accounting: served + shed + timed_out = submitted *)
+  p_shards : int;  (** buffer-pool shard count during the run *)
+  p_shard_lookups : int array;
+      (** residency probes this run performed, per shard *)
+  p_lookup_balance : float;
+      (** max/mean skew of [p_shard_lookups]
+          ({!Rdb_storage.Buffer_pool.lookup_balance}); [1.0] when
+          single-sharded *)
 }
 
 type report = {
@@ -222,4 +236,7 @@ val report_to_string : report -> string
 (** Deterministic text rendering: one line per submission — shed and
     timed-out sessions render their outcome where finishers render
     tactic/status, so the report audits every submission — plus the
-    pool totals and the served/shed/timed-out ledger. *)
+    pool totals, a shard/lookup-balance line when the pool is
+    partitioned ([p_shards > 1] only, so single-shard reports are
+    byte-identical to the pre-sharding scheduler), and the
+    served/shed/timed-out ledger. *)

@@ -3,8 +3,11 @@ open Rdb_storage
 
 type t = { pool : Buffer_pool.t; tables : (string, Table.t) Hashtbl.t }
 
-let create ?(pool_capacity = 256) () =
-  { pool = Buffer_pool.create ~capacity:pool_capacity; tables = Hashtbl.create 8 }
+let create ?(pool_capacity = 256) ?(pool_shards = 1) () =
+  {
+    pool = Buffer_pool.create ~shards:pool_shards ~capacity:pool_capacity ();
+    tables = Hashtbl.create 8;
+  }
 
 let pool t = t.pool
 

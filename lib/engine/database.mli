@@ -5,9 +5,12 @@ open Rdb_storage
 
 type t
 
-val create : ?pool_capacity:int -> unit -> t
+val create : ?pool_capacity:int -> ?pool_shards:int -> unit -> t
 (** [pool_capacity] in blocks, default 256 — small enough that cache
-    effects (paper §3c) are visible on the benchmark workloads. *)
+    effects (paper §3c) are visible on the benchmark workloads.
+    [pool_shards] (default 1) partitions the pool into independent LRU
+    shards ({!Buffer_pool.create}) — cost and contention only, results
+    invariant. *)
 
 val pool : t -> Buffer_pool.t
 

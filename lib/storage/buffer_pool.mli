@@ -1,4 +1,4 @@
-(** LRU buffer pool simulation.
+(** LRU buffer pool simulation, partitioned into independent shards.
 
     The pool does not hold data — backing stores keep their contents in
     memory — it simulates the *caching behaviour* of a page buffer:
@@ -7,17 +7,68 @@
     pages, index nodes and spill blocks all live in one pool, which
     reproduces the paper's §3(c) uncertainty: the cost of a scan
     depends on what other scans (foreground vs background, competing
-    strategies, other queries) have pulled in. *)
+    strategies, other queries) have pulled in.
+
+    {1 Sharding}
+
+    The pool is split into [shards] independent LRU domains; a block
+    maps to its shard by a deterministic mix of [{file; index}]
+    (stable across OCaml versions — no [Hashtbl.hash]).  Each shard
+    owns its slice of the capacity, its own LRU list, residency table,
+    eviction stamp and lookup counter, so eviction pressure in one
+    shard never invalidates handles or reorders recency in another —
+    the structural prerequisite for thousands of concurrent sessions.
+
+    Sharding steers contention and cost, never results: which blocks
+    are resident (and therefore hit/miss charges, eviction order, and
+    residency-dependent transient-fault draws) varies with the shard
+    count, but the rows a scan returns do not.  [shards = 1] — the
+    default everywhere — is byte-for-byte today's monolithic pool:
+    same charges, same eviction order, same fault stream, same
+    metrics (per-shard counters are only recorded when [shards > 1]). *)
 
 type t
 
 type block = { file : int; index : int }
 
-val create : capacity:int -> t
-(** [capacity] in blocks.  Raises [Invalid_argument] if < 1. *)
+val create : ?shards:int -> capacity:int -> unit -> t
+(** [capacity] in blocks, split as evenly as possible across [shards]
+    (default 1) LRU domains; the first [capacity mod shards] shards
+    hold one extra block.  Raises [Invalid_argument] if [capacity < 1],
+    [shards < 1], or [capacity < shards] (every shard must hold at
+    least one block). *)
 
 val capacity : t -> int
 val resident : t -> int
+
+val shards : t -> int
+(** Number of independent LRU domains. *)
+
+val shard_of_block : t -> block -> int
+(** The shard index a block maps to — deterministic, version-stable. *)
+
+val shard_lookups : t -> int array
+(** Per-shard residency-table probe counts (see {!lookups}); index [k]
+    is shard [k].  Resets to zeros on {!reshard}. *)
+
+val shard_residents : t -> int array
+val shard_capacities : t -> int array
+
+val lookup_balance : int array -> float
+(** Max/mean skew of a per-shard lookup vector: [1.0] is perfectly
+    balanced, [n] means all probes landed on one of [n] shards.
+    Degenerate inputs (single shard, all-zero) read as [1.0]. *)
+
+val shard_lookup_balance : t -> float
+(** [lookup_balance (shard_lookups t)]. *)
+
+val reshard : t -> shards:int -> unit
+(** Repartition the pool into [shards] domains.  Residency is dropped
+    (equivalent to {!flush} — cost-only, results unaffected), every
+    outstanding {!handle} is invalidated, and per-shard lookup
+    counters restart at zero ({!lookups} stays monotone: pre-reshard
+    probes are retired into the pool total).  Raises
+    [Invalid_argument] on [shards < 1] or [capacity < shards]. *)
 
 val fresh_file : t -> int
 (** Allocate a new file id (heap, index, or spill space). *)
@@ -41,8 +92,9 @@ val injector : t -> Fault.t option
 val set_metrics : t -> Rdb_util.Metrics.t option -> unit
 (** Attach (or detach) a metrics registry.  Observation-only: with a
     registry attached the pool counts hits / misses / evictions /
-    writes / faults per file label, but charges, residency and results
-    are identical to an unobserved pool. *)
+    writes / faults per file label — and, when [shards > 1], the same
+    events per shard under [pool.shard<k>.*] — but charges, residency
+    and results are identical to an unobserved pool. *)
 
 val metrics : t -> Rdb_util.Metrics.t option
 
@@ -70,9 +122,10 @@ val touch_read : t -> Cost.t -> block -> [ `Hit | `Miss ]
     replays the {e hit} path through it — same LRU bump, same logical
     charge to the meter and the global meter, same metrics events,
     same fault-injector stream — while skipping the probe.  Handles
-    are invalidated conservatively by {e any} eviction ([retouch]
-    returns [false]; redo the full lookup), so they are only worth
-    holding across a short window such as one [next_batch] call. *)
+    are invalidated conservatively by {e any} eviction in the owning
+    shard ([retouch] returns [false]; redo the full lookup) — evictions
+    in other shards leave them valid — so they are only worth holding
+    across a short window such as one [next_batch] call. *)
 
 type handle
 
@@ -83,16 +136,17 @@ val touch_read_h : t -> Cost.t -> block -> [ `Hit | `Miss ] * handle
 
 val retouch : t -> Cost.t -> handle -> bool
 (** Re-access the handled block as a hit without probing the table.
-    [false] if any eviction invalidated the handle since it was made
-    (nothing charged; caller falls back to [touch_read_h]).  May raise
-    {!Fault.Injected} exactly as a hit access would. *)
+    [false] if an eviction in the block's shard invalidated the handle
+    since it was made (nothing charged; caller falls back to
+    [touch_read_h]).  May raise {!Fault.Injected} exactly as a hit
+    access would. *)
 
 val lookups : t -> int
-(** Residency-table probes performed so far (charged read and write
-    accesses only; [retouch] does not probe).  Distinct from charged
-    accesses: this is the in-memory bookkeeping the batch-quantum
-    cursors amortize, also exported per file as the [pool.lookups]
-    metric. *)
+(** Residency-table probes performed so far, summed across shards and
+    monotone across {!reshard} (charged read and write accesses only;
+    [retouch] does not probe).  Distinct from charged accesses: this
+    is the in-memory bookkeeping the batch-quantum cursors amortize,
+    also exported per file as the [pool.lookups] metric. *)
 
 val write : t -> Cost.t -> block -> unit
 (** Access a block for writing: charges a block write; the block

@@ -2,7 +2,8 @@ open Rdb_data
 open Rdb_engine
 module Prng = Rdb_util.Prng
 
-let fresh_db ?(pool_capacity = 128) () = Database.create ~pool_capacity ()
+let fresh_db ?(pool_capacity = 128) ?(pool_shards = 1) () =
+  Database.create ~pool_capacity ~pool_shards ()
 
 let families ?(rows = 20000) ?(seed = 1) db =
   let schema =

@@ -52,4 +52,4 @@ val sensors :
     intersections the most (§2's unknown-correlation motivation).
     Indexes: A_IDX, B_IDX, T_IDX. *)
 
-val fresh_db : ?pool_capacity:int -> unit -> Database.t
+val fresh_db : ?pool_capacity:int -> ?pool_shards:int -> unit -> Database.t

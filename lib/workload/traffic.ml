@@ -92,10 +92,12 @@ let orders_mix ?(customers = 2000) ?(products = 500) ?(days = 365) ?(price_max =
   Array.to_list specs
 
 let storm ?(customers = 2000) ?(products = 500) ?(days = 365) ?(price_max = 5000)
-    ?(theta = 1.0) ?(deadline_pct = 25) ~seed ~count () =
+    ?(theta = 1.0) ?(deadline_pct = 25) ?(waves = 1) ?(drain_gap = 64) ~seed ~count () =
   if count < 0 then invalid_arg "Traffic.storm: count < 0";
   if deadline_pct < 0 || deadline_pct > 100 then
     invalid_arg "Traffic.storm: deadline_pct outside [0, 100]";
+  if waves < 1 then invalid_arg "Traffic.storm: waves < 1";
+  if drain_gap < 0 then invalid_arg "Traffic.storm: drain_gap < 0";
   let rng = Prng.create ~seed in
   (* Quota declarations are the heavy tail: most sessions declare a
      small bounded quota, a Zipf tail declares large or unbounded
@@ -106,8 +108,15 @@ let storm ?(customers = 2000) ?(products = 500) ?(days = 365) ?(price_max = 5000
      stretches that let the pool drain. *)
   let gap_zipf = Zipf.create ~n:8 ~theta:1.2 in
   let at = ref 0 in
+  (* Wave structure for thousand-session storms: the count splits into
+     [waves] equal fronts separated by a [drain_gap] quiet stretch.  At
+     the default [waves = 1] no boundary ever fires, so the arrival
+     stream (and every PRNG draw) is byte-identical to the single-front
+     storm. *)
+  let wave_len = if waves = 1 then max 1 count else (count + waves - 1) / waves in
   List.init count (fun i ->
       let spec = template rng ~customers ~products ~days ~price_max i in
+      if i > 0 && i mod wave_len = 0 then at := !at + drain_gap;
       at := !at + (Zipf.draw gap_zipf rng - 1);
       let rank = Zipf.draw quota_zipf rng in
       let quota =

@@ -48,6 +48,8 @@ val storm :
   ?price_max:int ->
   ?theta:float ->
   ?deadline_pct:int ->
+  ?waves:int ->
+  ?drain_gap:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -59,5 +61,8 @@ val storm :
     mostly small bounded quotas, a heavy tail of large or unbounded
     declarations; [deadline_pct] percent of queries (default 25) carry
     a tight-skewed cost deadline, including some that are 0 (timed out
-    on arrival).  Everything flows from [seed]: equal seeds give
-    identical storms. *)
+    on arrival).  [waves] (default 1) splits the count into that many
+    equal fronts separated by a [drain_gap]-tick quiet stretch
+    (default 64) — the thousand-session storm shape; at the default
+    the stream is byte-identical to a single front.  Everything flows
+    from [seed]: equal seeds give identical storms. *)

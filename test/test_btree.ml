@@ -9,7 +9,7 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let fresh ?(fanout = 5) () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:10_000 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:10_000 () in
   (Btree.create ~fanout pool, Rdb_storage.Cost.create ())
 
 let k i : Btree.key = [| Value.int i |]
@@ -403,7 +403,7 @@ let test_null_keys_sort_first () =
 (* --- cost charging --------------------------------------------------------- *)
 
 let test_scans_charge_pool () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:4 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:4 () in
   let t = Btree.create ~fanout:4 pool in
   let m = Rdb_storage.Cost.create () in
   for i = 0 to 499 do

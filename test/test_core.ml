@@ -105,7 +105,7 @@ let schema =
     ]
 
 let fixture ?(rows = 4000) ?(pool_capacity = 1024) ?(seed = 19) () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:pool_capacity in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:pool_capacity () in
   let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
   let rng = Rdb_util.Prng.create ~seed in
   for i = 0 to rows - 1 do
@@ -533,7 +533,7 @@ let test_cursor_close_is_idempotent () =
   check "fetch after close is None" true (R.fetch c = None)
 
 let test_empty_table_retrieval () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:16 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:16 () in
   let table = Table.create pool ~name:"EMPTY" schema in
   ignore (Table.create_index table ~name:"X_IDX" ~columns:[ "X" ] ());
   let open Predicate in

@@ -128,7 +128,7 @@ let prop_simplify_preserves_eval =
 (* --- range extraction ----------------------------------------------------- *)
 
 let mk_table () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:1024 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:1024 () in
   let t = Table.create pool ~name:"T" schema in
   let rng = Rdb_util.Prng.create ~seed:5 in
   for i = 0 to 499 do
@@ -330,7 +330,7 @@ let test_table_update_maintains_indexes () =
      Table.update t dead (row 1 None "x"))
 
 let test_clustering_factor_discriminates () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:4096 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:4096 () in
   let schema2 = Schema.make [ Schema.col "K" Value.T_int; Schema.col "R" Value.T_int ] in
   let t = Table.create ~page_bytes:512 pool ~name:"CL" schema2 in
   let rng = Rdb_util.Prng.create ~seed:13 in
@@ -392,7 +392,7 @@ let test_bind_is_idempotent_when_bound () =
 (* --- histogram (the §5 strawman) --------------------------------------------- *)
 
 let test_histogram_estimates () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:1024 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:1024 () in
   let schema2 = Schema.make [ Schema.col "V" Value.T_int ] in
   let t = Table.create ~page_bytes:512 pool ~name:"H" schema2 in
   for i = 0 to 9999 do
@@ -413,7 +413,7 @@ let test_histogram_estimates () =
   check "full range total" true (Float.abs (full -. 10000.0) < 1.0)
 
 let test_histogram_predicate_coverage () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:1024 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:1024 () in
   let schema2 = Schema.make [ Schema.col "V" Value.T_int ] in
   let t = Table.create pool ~name:"H2" schema2 in
   for i = 0 to 999 do
@@ -431,7 +431,7 @@ let test_histogram_predicate_coverage () =
     (Histogram.estimate_predicate h ("W" <% Value.int 1) = None)
 
 let test_histogram_staleness () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:1024 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:1024 () in
   let schema2 = Schema.make [ Schema.col "V" Value.T_int ] in
   let t = Table.create pool ~name:"H3" schema2 in
   for _ = 1 to 500 do

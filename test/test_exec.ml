@@ -23,7 +23,7 @@ let schema =
 type fixture = { table : Table.t; pool : Rdb_storage.Buffer_pool.t }
 
 let fixture ?(rows = 3000) ?(pool_capacity = 2048) ?(seed = 3) () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:pool_capacity in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:pool_capacity () in
   let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
   let rng = Rdb_util.Prng.create ~seed in
   for i = 0 to rows - 1 do
@@ -460,7 +460,7 @@ let test_final_stage_empty () =
   check "immediately done" true (Final_stage.step fin = Scan.Done)
 
 let test_tscan_empty_table () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:16 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:16 () in
   let table = Table.create pool ~name:"E" schema in
   let m = Rdb_storage.Cost.create () in
   let t = Tscan.create table m Predicate.True in

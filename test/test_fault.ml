@@ -26,7 +26,7 @@ let schema =
 type fixture = { table : Table.t; pool : Buffer_pool.t }
 
 let fixture ?(rows = 2000) ?(pool_capacity = 1024) ?(seed = 11) () =
-  let pool = Buffer_pool.create ~capacity:pool_capacity in
+  let pool = Buffer_pool.create ~capacity:pool_capacity () in
   let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
   let rng = Rdb_util.Prng.create ~seed in
   for i = 0 to rows - 1 do

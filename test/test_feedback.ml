@@ -80,7 +80,7 @@ let schema =
     [ Schema.col "ID" Value.T_int; Schema.col "X" Value.T_int; Schema.col "Y" Value.T_int ]
 
 let build_table ?(rows = 400) ?(xmax = 1000) ~seed () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:256 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:256 () in
   let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
   let rng = Prng.create ~seed in
   for i = 0 to rows - 1 do

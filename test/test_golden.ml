@@ -92,7 +92,7 @@ let explain_output () =
 (* --- fault / degradation trace -------------------------------------- *)
 
 let fault_trace_output () =
-  let pool = Buffer_pool.create ~capacity:256 in
+  let pool = Buffer_pool.create ~capacity:256 () in
   let schema =
     Schema.make
       [

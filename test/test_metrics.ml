@@ -107,7 +107,7 @@ let schema =
     ]
 
 let fixture ?(rows = 1500) ?(pool_capacity = 256) ?(seed = 19) () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:pool_capacity in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:pool_capacity () in
   let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
   let rng = Rdb_util.Prng.create ~seed in
   for i = 0 to rows - 1 do

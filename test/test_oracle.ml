@@ -38,9 +38,14 @@ let schema =
 (* A fresh random table on its own small pool.  Index availability is
    itself randomized (X_IDX always exists so estimation has something
    to hold on to; Y_IDX / XY_IDX come and go), which moves the tactic
-   chooser across its whole range. *)
+   chooser across its whole range.  The pool's shard count is
+   randomized too (1–4, from the seed): every differential case — with
+   and without fault injection — thereby asserts that buffer-pool
+   sharding never changes results or degradation behavior. *)
 let build_table ~seed ~rows ~xmax ~ymax ~with_y_idx ~with_xy_idx =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:128 in
+  let pool =
+    Rdb_storage.Buffer_pool.create ~shards:(1 + (abs seed mod 4)) ~capacity:128 ()
+  in
   let table = Table.create ~page_bytes:1024 pool ~name:"T" schema in
   let rng = Prng.create ~seed in
   for i = 0 to rows - 1 do

@@ -65,7 +65,7 @@ let test_filter_hashed_one_sided () =
 (* --- rid list: tiers -------------------------------------------------------- *)
 
 let fresh_list ?(memory_budget = 64) () =
-  let pool = Rdb_storage.Buffer_pool.create ~capacity:256 in
+  let pool = Rdb_storage.Buffer_pool.create ~capacity:256 () in
   let meter = Rdb_storage.Cost.create () in
   (Rid_list.create ~memory_budget pool meter, meter)
 
@@ -167,7 +167,7 @@ let prop_sorted_array_matches_model =
   QCheck.Test.make ~name:"to_sorted_array equals sorted dedup of adds" ~count:80
     QCheck.(pair (int_range 21 80) (list (int_bound 500)))
     (fun (budget, adds) ->
-      let pool = Rdb_storage.Buffer_pool.create ~capacity:256 in
+      let pool = Rdb_storage.Buffer_pool.create ~capacity:256 () in
       let meter = Rdb_storage.Cost.create () in
       let l = Rid_list.create ~memory_budget:budget pool meter in
       List.iter (fun i -> Rid_list.add l (rid i)) adds;

@@ -349,6 +349,81 @@ let test_shed_policies () =
   check "newest sheds the most recent arrivals" true
     (List.map is_shed (run S.Shed_newest) = [ false; false; true; true ])
 
+(* --- buffer-pool sharding ------------------------------------------- *)
+
+(* Sharding steers contention, never results: the same storm run under
+   different buffer-pool shard counts keeps accounting exact in every
+   run and serves byte-identical rows (content and order) for every
+   session served under both counts.  Costs differ across shard counts
+   — eviction order is per-shard — so the outcome *sets* may differ at
+   the margin; invariance is over the common survivors. *)
+let prop_shard_count_invariance =
+  QCheck.Test.make
+    ~name:"accounting exact and rows invariant across random shard counts"
+    ~count:8
+    QCheck.(pair (int_bound 100_000) (int_range 2 8))
+    (fun (seed, shards) ->
+      (* qcheck shrinking can step outside int_range bounds *)
+      let shards = max 2 (min 8 shards) in
+      let db, table = Lazy.force fixture in
+      let pool = Database.pool db in
+      let run n =
+        Rdb_storage.Buffer_pool.flush pool;
+        let cfg = { overload_cfg with S.pool_shards = Some n } in
+        let sched = S.create ~config:cfg db in
+        let arrivals = Traffic.storm ~seed ~count:20 () in
+        let ids = List.map (submit_arrival sched table) arrivals in
+        let report = S.run sched in
+        let sessions =
+          List.map
+            (fun id ->
+              let s = List.find (fun s -> s.S.s_id = id) report.S.sessions in
+              (s.S.s_outcome = S.Served, row_list (S.rows_of sched id)))
+            ids
+        in
+        (report, sessions)
+      in
+      let rep_1, sess_1 = run 1 in
+      let rep_n, sess_n = run shards in
+      (* restore the shared fixture to its single-shard shape *)
+      Rdb_storage.Buffer_pool.reshard pool ~shards:1;
+      let exact (r : S.report) =
+        r.S.pool.S.p_served + r.S.pool.S.p_shed + r.S.pool.S.p_timed_out
+        = r.S.pool.S.p_submitted
+      in
+      exact rep_1 && exact rep_n
+      && rep_1.S.pool.S.p_shards = 1
+      && rep_n.S.pool.S.p_shards = shards
+      && List.for_all2
+           (fun (served_1, rows_1) (served_n, rows_n) ->
+             (not (served_1 && served_n)) || rows_1 = rows_n)
+           sess_1 sess_n)
+
+(* [pool_shards = Some 1] must reproduce the untouched monolithic pool
+   bit-for-bit: same report text (no shard line), same rows. *)
+let test_single_shard_identity () =
+  let db, table = Lazy.force fixture in
+  let pool = Database.pool db in
+  Rdb_storage.Buffer_pool.reshard pool ~shards:1;
+  let arrivals = Traffic.storm ~seed:7 ~count:16 () in
+  let run pool_shards =
+    Rdb_storage.Buffer_pool.flush pool;
+    let cfg = { overload_cfg with S.pool_shards; S.record_events = true } in
+    let sched = S.create ~config:cfg db in
+    let ids = List.map (submit_arrival sched table) arrivals in
+    let report = S.run sched in
+    (report, List.map (fun id -> row_list (S.rows_of sched id)) ids)
+  in
+  let rep_none, rows_none = run None in
+  let rep_one, rows_one = run (Some 1) in
+  check "reports byte-identical" true
+    (S.report_to_string rep_none = S.report_to_string rep_one);
+  check "rows identical" true (rows_none = rows_one);
+  check "single-shard pool stats" true
+    (rep_one.S.pool.S.p_shards = 1
+    && rep_one.S.pool.S.p_lookup_balance = 1.0
+    && Array.length rep_one.S.pool.S.p_shard_lookups = 1)
+
 (* Dropping background refinement is cost-only: rows and their order
    are invariant — the contract graceful degradation relies on. *)
 let test_bgr_invariance () =
@@ -392,5 +467,11 @@ let () =
             test_shed_policies;
           Alcotest.test_case "bgr degradation is rows-invariant" `Quick
             test_bgr_invariance;
+        ] );
+      ( "sharding",
+        [
+          QCheck_alcotest.to_alcotest prop_shard_count_invariance;
+          Alcotest.test_case "pool_shards = Some 1 is byte-identical to None"
+            `Quick test_single_shard_identity;
         ] );
     ]

@@ -36,7 +36,7 @@ let test_cost_add_snapshot () =
 let block file index : Buffer_pool.block = { Buffer_pool.file; index }
 
 let test_pool_hit_miss () =
-  let p = Buffer_pool.create ~capacity:2 in
+  let p = Buffer_pool.create ~capacity:2 () in
   let m = Cost.create () in
   Buffer_pool.touch p m (block 0 0);
   Buffer_pool.touch p m (block 0 0);
@@ -44,7 +44,7 @@ let test_pool_hit_miss () =
   check_int "one hit" 1 (Cost.logical_reads m)
 
 let test_pool_lru_eviction () =
-  let p = Buffer_pool.create ~capacity:2 in
+  let p = Buffer_pool.create ~capacity:2 () in
   let m = Cost.create () in
   Buffer_pool.touch p m (block 0 0);
   Buffer_pool.touch p m (block 0 1);
@@ -57,7 +57,7 @@ let test_pool_lru_eviction () =
   check "2 resident" true (Buffer_pool.is_resident p (block 0 2))
 
 let test_pool_evict_file_and_flush () =
-  let p = Buffer_pool.create ~capacity:8 in
+  let p = Buffer_pool.create ~capacity:8 () in
   let m = Cost.create () in
   for i = 0 to 3 do
     Buffer_pool.touch p m (block 1 i);
@@ -76,7 +76,7 @@ let prop_pool_matches_model =
     QCheck.(list (pair (int_bound 3) (int_bound 15)))
     (fun ops ->
       let cap = 4 in
-      let p = Buffer_pool.create ~capacity:cap in
+      let p = Buffer_pool.create ~capacity:cap () in
       let m = Cost.create () in
       let model = ref [] in
       List.for_all
@@ -96,7 +96,7 @@ let prop_pool_matches_model =
         ops)
 
 let test_pool_write_makes_resident () =
-  let p = Buffer_pool.create ~capacity:2 in
+  let p = Buffer_pool.create ~capacity:2 () in
   let m = Cost.create () in
   Buffer_pool.write p m (block 0 7);
   check "resident after write" true (Buffer_pool.is_resident p (block 0 7));
@@ -104,12 +104,166 @@ let test_pool_write_makes_resident () =
   Buffer_pool.touch p m (block 0 7);
   check_int "then hit" 1 (Cost.logical_reads m)
 
+(* --- sharded pool -------------------------------------------------------- *)
+
+(* Per-shard LRU reference model: the sharded pool must behave as n
+   independent copies of the monolithic model, one per shard, each with
+   its own slice of the capacity. *)
+let prop_sharded_pool_matches_model =
+  QCheck.Test.make ~name:"sharded pool matches per-shard LRU models" ~count:100
+    QCheck.(pair (1 -- 4) (list (pair (int_bound 3) (int_bound 15))))
+    (fun (shards, ops) ->
+      let cap = 4 in
+      let p = Buffer_pool.create ~shards ~capacity:cap () in
+      let m = Cost.create () in
+      let caps = Buffer_pool.shard_capacities p in
+      let models = Array.make shards [] in
+      List.for_all
+        (fun (f, i) ->
+          let b = block f i in
+          let k = Buffer_pool.shard_of_block p b in
+          let hits_before = Cost.logical_reads m in
+          Buffer_pool.touch p m b;
+          let was_hit = Cost.logical_reads m > hits_before in
+          let hit_model = List.mem b models.(k) in
+          models.(k) <- b :: List.filter (( <> ) b) models.(k);
+          if List.length models.(k) > caps.(k) then
+            models.(k) <- List.filteri (fun j _ -> j < caps.(k)) models.(k);
+          was_hit = hit_model
+          && Array.for_all
+               (fun model -> List.for_all (Buffer_pool.is_resident p) model)
+               models
+          && Buffer_pool.resident p
+             = Array.fold_left (fun acc model -> acc + List.length model) 0 models
+          && Array.for_all2 ( = )
+               (Buffer_pool.shard_residents p)
+               (Array.map List.length models))
+        ops)
+
+(* shards=1 must be the monolithic pool byte-for-byte: identical
+   hit/miss stream, charges, lookups, and residency on any sequence. *)
+let prop_single_shard_byte_identity =
+  QCheck.Test.make ~name:"shards=1 byte-identical to default pool" ~count:100
+    QCheck.(list (pair (int_bound 3) (int_bound 15)))
+    (fun ops ->
+      let a = Buffer_pool.create ~capacity:4 () in
+      let b = Buffer_pool.create ~shards:1 ~capacity:4 () in
+      let ma = Cost.create () and mb = Cost.create () in
+      List.for_all
+        (fun (f, i) ->
+          let ra = Buffer_pool.touch_read a ma (block f i) in
+          let rb = Buffer_pool.touch_read b mb (block f i) in
+          ra = rb
+          && Cost.total ma = Cost.total mb
+          && Buffer_pool.lookups a = Buffer_pool.lookups b
+          && Buffer_pool.resident a = Buffer_pool.resident b)
+        ops)
+
+let test_shard_mapping_deterministic () =
+  let p = Buffer_pool.create ~shards:4 ~capacity:8 () in
+  let q = Buffer_pool.create ~shards:4 ~capacity:64 () in
+  let used = Array.make 4 false in
+  for f = 0 to 7 do
+    for i = 0 to 63 do
+      let k = Buffer_pool.shard_of_block p (block f i) in
+      check "in range" true (k >= 0 && k < 4);
+      (* capacity never affects the partition, only the per-shard caps *)
+      check_int "capacity-independent" k (Buffer_pool.shard_of_block q (block f i));
+      used.(k) <- true
+    done
+  done;
+  check "every shard reachable" true (Array.for_all Fun.id used)
+
+let test_shard_capacity_split () =
+  let p = Buffer_pool.create ~shards:3 ~capacity:8 () in
+  Alcotest.(check (array int)) "8 over 3" [| 3; 3; 2 |] (Buffer_pool.shard_capacities p);
+  check "shards<1 rejected" true
+    (try
+       ignore (Buffer_pool.create ~shards:0 ~capacity:4 ());
+       false
+     with Invalid_argument _ -> true);
+  check "capacity<shards rejected" true
+    (try
+       ignore (Buffer_pool.create ~shards:5 ~capacity:4 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_lookup_balance () =
+  let chk name exp counts =
+    Alcotest.(check (float 1e-9)) name exp (Buffer_pool.lookup_balance counts)
+  in
+  chk "even" 1.0 [| 10; 10 |];
+  chk "all on one of two" 2.0 [| 20; 0 |];
+  chk "single shard" 1.0 [| 7 |];
+  chk "no lookups" 1.0 [| 0; 0; 0 |];
+  chk "mild skew" 1.5 [| 30; 10; 20; 20 |]
+
+(* An eviction in one shard must not invalidate handles in another —
+   the contention-isolation property that makes sharding worth it. *)
+let test_handle_survives_other_shard_eviction () =
+  let p = Buffer_pool.create ~shards:2 ~capacity:4 () in
+  let m = Cost.create () in
+  (* find a block in each shard *)
+  let find_in_shard k =
+    let rec go i =
+      if Buffer_pool.shard_of_block p (block 0 i) = k then i else go (i + 1)
+    in
+    go 0
+  in
+  let b0 = block 0 (find_in_shard 0) in
+  let _, h0 = Buffer_pool.touch_read_h p m b0 in
+  (* overflow shard 1 (2 slots) to force evictions there *)
+  let n = ref 0 and i = ref 0 in
+  while !n < 3 do
+    let b = block 1 !i in
+    if Buffer_pool.shard_of_block p b = 1 then begin
+      Buffer_pool.touch p m b;
+      incr n
+    end;
+    incr i
+  done;
+  check "handle survives other-shard eviction" true (Buffer_pool.retouch p m h0);
+  (* and an eviction in its own shard kills it *)
+  let n = ref 0 and i = ref 1000 in
+  while !n < 3 do
+    let b = block 0 !i in
+    if Buffer_pool.shard_of_block p b = 0 then begin
+      Buffer_pool.touch p m b;
+      incr n
+    end;
+    incr i
+  done;
+  check "own-shard eviction invalidates" false (Buffer_pool.retouch p m h0)
+
+let test_reshard () =
+  let p = Buffer_pool.create ~capacity:8 () in
+  let m = Cost.create () in
+  for i = 0 to 5 do
+    Buffer_pool.touch p m (block 0 i)
+  done;
+  let _, h = Buffer_pool.touch_read_h p m (block 0 0) in
+  let lookups_before = Buffer_pool.lookups p in
+  Buffer_pool.reshard p ~shards:4;
+  check_int "now 4 shards" 4 (Buffer_pool.shards p);
+  check_int "residency dropped" 0 (Buffer_pool.resident p);
+  check_int "lookups monotone" lookups_before (Buffer_pool.lookups p);
+  check "old handles invalidated" false (Buffer_pool.retouch p m h);
+  Buffer_pool.touch p m (block 0 0);
+  Buffer_pool.touch p m (block 0 0);
+  check "pool works after reshard" true (Buffer_pool.is_resident p (block 0 0));
+  check_int "lookups resume counting" (lookups_before + 2) (Buffer_pool.lookups p);
+  check "reshard capacity<shards rejected" true
+    (try
+       Buffer_pool.reshard p ~shards:9;
+       false
+     with Invalid_argument _ -> true)
+
 (* --- heap file ----------------------------------------------------------- *)
 
 let row i = [| Value.int i; Value.str (Printf.sprintf "row-%04d" i) |]
 
 let test_heap_insert_fetch () =
-  let p = Buffer_pool.create ~capacity:64 in
+  let p = Buffer_pool.create ~capacity:64 () in
   let h = Heap_file.create ~page_bytes:256 p in
   let m = Cost.create () in
   let rids = List.init 100 (fun i -> Heap_file.insert h (row i)) in
@@ -123,7 +277,7 @@ let test_heap_insert_fetch () =
     rids
 
 let test_heap_delete_update () =
-  let p = Buffer_pool.create ~capacity:64 in
+  let p = Buffer_pool.create ~capacity:64 () in
   let h = Heap_file.create ~page_bytes:256 p in
   let m = Cost.create () in
   let rids = Array.init 50 (fun i -> Heap_file.insert h (row i)) in
@@ -137,7 +291,7 @@ let test_heap_delete_update () =
   check "update deleted fails" false (Heap_file.update h m rids.(10) (row 1))
 
 let test_heap_scan_order_and_cost () =
-  let p = Buffer_pool.create ~capacity:64 in
+  let p = Buffer_pool.create ~capacity:64 () in
   let h = Heap_file.create ~page_bytes:256 p in
   let m = Cost.create () in
   for i = 0 to 99 do
@@ -154,7 +308,7 @@ let test_heap_scan_order_and_cost () =
   check_int "page reads = page count" (Heap_file.page_count h) (Cost.physical_reads m)
 
 let test_heap_fetch_bogus_rid () =
-  let p = Buffer_pool.create ~capacity:8 in
+  let p = Buffer_pool.create ~capacity:8 () in
   let h = Heap_file.create p in
   let m = Cost.create () in
   check "bad page" true (Heap_file.fetch h m (Rid.make ~page:99 ~slot:0) = None);
@@ -165,7 +319,7 @@ let prop_heap_matches_model =
   QCheck.Test.make ~name:"heap matches assoc model under ops" ~count:60
     QCheck.(list (pair (int_bound 2) (int_bound 30)))
     (fun ops ->
-      let p = Buffer_pool.create ~capacity:64 in
+      let p = Buffer_pool.create ~capacity:64 () in
       let h = Heap_file.create ~page_bytes:200 p in
       let m = Cost.create () in
       let model = Hashtbl.create 16 in
@@ -205,7 +359,7 @@ let prop_heap_matches_model =
       && Heap_file.record_count h = Hashtbl.length model)
 
 let test_pool_capacity_one () =
-  let p = Buffer_pool.create ~capacity:1 in
+  let p = Buffer_pool.create ~capacity:1 () in
   let m = Cost.create () in
   Buffer_pool.touch p m (block 0 0);
   Buffer_pool.touch p m (block 0 1);
@@ -214,12 +368,12 @@ let test_pool_capacity_one () =
   check_int "resident 1" 1 (Buffer_pool.resident p);
   check "zero capacity rejected" true
     (try
-       ignore (Buffer_pool.create ~capacity:0);
+       ignore (Buffer_pool.create ~capacity:0 ());
        false
      with Invalid_argument _ -> true)
 
 let test_heap_huge_record_gets_own_page () =
-  let p = Buffer_pool.create ~capacity:16 in
+  let p = Buffer_pool.create ~capacity:16 () in
   let h = Heap_file.create ~page_bytes:128 p in
   (* A record bigger than the page still lands somewhere (simulation
      allows overflow pages of one record). *)
@@ -233,7 +387,7 @@ let test_heap_huge_record_gets_own_page () =
 (* --- spill ----------------------------------------------------------------- *)
 
 let test_spill_roundtrip () =
-  let p = Buffer_pool.create ~capacity:64 in
+  let p = Buffer_pool.create ~capacity:64 () in
   let s = Spill.create ~rids_per_block:16 p in
   let m = Cost.create () in
   let rids = Array.init 100 (fun i -> Rid.make ~page:(i / 7) ~slot:(i mod 7)) in
@@ -245,7 +399,7 @@ let test_spill_roundtrip () =
   check "roundtrip order" true (Array.for_all2 Rid.equal rids back)
 
 let test_spill_write_costs () =
-  let p = Buffer_pool.create ~capacity:64 in
+  let p = Buffer_pool.create ~capacity:64 () in
   let s = Spill.create ~rids_per_block:10 p in
   let m = Cost.create () in
   Spill.append s m (Array.init 25 (fun i -> Rid.make ~page:i ~slot:0));
@@ -273,6 +427,19 @@ let () =
           Alcotest.test_case "evict_file/flush" `Quick test_pool_evict_file_and_flush;
           Alcotest.test_case "write residency" `Quick test_pool_write_makes_resident;
           QCheck_alcotest.to_alcotest prop_pool_matches_model;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "deterministic mapping" `Quick
+            test_shard_mapping_deterministic;
+          Alcotest.test_case "capacity split and validation" `Quick
+            test_shard_capacity_split;
+          Alcotest.test_case "lookup balance" `Quick test_lookup_balance;
+          Alcotest.test_case "handle isolation across shards" `Quick
+            test_handle_survives_other_shard_eviction;
+          Alcotest.test_case "reshard" `Quick test_reshard;
+          QCheck_alcotest.to_alcotest prop_sharded_pool_matches_model;
+          QCheck_alcotest.to_alcotest prop_single_shard_byte_identity;
         ] );
       ( "edge-cases",
         [
