@@ -1,0 +1,330 @@
+(* Crash–restart survival (DESIGN.md §15).
+
+   FoundationDB-style deterministic crash injection against the epoch
+   supervisor: cost-clocked crash points kill the scheduler at a grant
+   boundary, losing every piece of volatile state (pool residency,
+   cursors, scheduler queues, health counters, feedback, metrics)
+   while durable state (heap pages, committed trees, the manifest)
+   survives; restart recovery discards orphan side trees, restores
+   quarantine verdicts, resubmits rebuilds, and the journal reissues
+   every lost submission.  Four phases:
+
+   1. reissue identity: a query mix crashed mid-plan (early grant) and
+      mid-scan (cost deadline) still serves, per submission, exactly
+      the rows of a never-crashed twin run — crashes lose cost and
+      progress, never answers;
+   2. crash mid-rebuild: an index is quarantined by a persistent fault
+      (the verdict hits the manifest), its online rebuild is killed
+      two grants in — restart finds the orphan side tree, discards it,
+      restores the quarantine with its escalation count, resubmits the
+      rebuild, and the structure ends Healthy with a clean manifest;
+   3. storm under crashes: a shedding/deadline storm crossed with a
+      seeded crash schedule keeps the cross-epoch ledger exact —
+      served + shed + timed out + unresolved = submitted — and the
+      supervisor terminates because the crash schedule is finite;
+   4. zero-crash identity: with no crash points the supervisor's
+      single epoch is byte-identical to running the scheduler
+      directly — the crash machinery costs nothing when unused. *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_storage
+module Btree = Rdb_btree.Btree
+module R = Rdb_core.Retrieval
+module S = Rdb_core.Session
+module Recovery = Rdb_core.Recovery
+module Goal = Rdb_core.Goal
+module Datasets = Rdb_workload.Datasets
+module Traffic = Rdb_workload.Traffic
+
+let name = "crash"
+
+let description =
+  "crash–restart survival: reissued rows identical, orphan rebuilds recovered, \
+   exact cross-epoch accounting"
+
+(* Storm-phase session count; the nightly CI job exports
+   RDB_CRASH_SCALE=1024 to cross the crash schedule with a full-size
+   storm. *)
+let storm_scale =
+  match Sys.getenv_opt "RDB_CRASH_SCALE" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 192)
+  | None -> 192
+
+let request_of (sp : Traffic.spec) =
+  R.request ~env:sp.Traffic.env ~order_by:sp.Traffic.order_by
+    ?explicit_goal:(if sp.Traffic.fast_first then Some Goal.Fast_first else None)
+    sp.Traffic.pred
+
+let row_strings rows = List.map Row.to_string rows
+let multiset rows = List.sort compare (row_strings rows)
+
+let oracle table pred =
+  let pred = Predicate.simplify pred in
+  let m = Cost.create () in
+  let out = ref [] in
+  Heap_file.iter (Table.heap table) m (fun _ row ->
+      if Predicate.eval pred (Table.schema table) row then out := row :: !out);
+  !out
+
+let build () =
+  let db = Datasets.fresh_db ~pool_capacity:64 () in
+  let table = Datasets.orders ~rows:6000 db in
+  (db, table)
+
+let cfg = { S.default_config with S.max_inflight = 2; S.quantum = 2.0 }
+
+let mix_subs table specs =
+  List.map
+    (fun (sp : Traffic.spec) ->
+      Recovery.query ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+        (request_of sp))
+    specs
+
+let outcome_to_string = function
+  | Some (S.Served) -> "served"
+  | Some (S.Timed_out _) -> "timed out"
+  | Some (S.Shed _) -> "shed"
+  | Some (S.Lost _) -> "lost"
+  | None -> "unresolved"
+
+let run () =
+  Bench_common.section
+    "Experiment crash — crash–restart survival: deterministic crashes, durable \
+     manifest, restart recovery";
+
+  (* --- phase 1: reissue identity ------------------------------------ *)
+  let specs = Traffic.orders_mix ~seed:5 ~count:10 () in
+  let db_calm, table_calm = build () in
+  let calm = Recovery.run ~config:cfg db_calm (mix_subs table_calm specs) in
+  let db_crash, table_crash = build () in
+  let crashed =
+    Recovery.run ~config:cfg
+      ~crashes:[ [ S.Crash_at_grant 4 ]; [ S.Crash_at_cost 30.0 ] ]
+      db_crash
+      (mix_subs table_crash specs)
+  in
+  Bench_common.subsection
+    "phase 1 — the same 10 queries calm vs crashed mid-plan (grant 4) and \
+     mid-scan (cost 30.0)";
+  Bench_common.table
+    ~header:[ "submission"; "calm"; "crashed"; "rows"; "lost" ]
+    (List.map2
+       (fun (a : Recovery.final) (b : Recovery.final) ->
+         [
+           a.Recovery.f_label;
+           outcome_to_string a.Recovery.f_outcome;
+           outcome_to_string b.Recovery.f_outcome;
+           string_of_int (List.length b.Recovery.f_rows);
+           string_of_int b.Recovery.f_lost_count;
+         ])
+       calm.Recovery.r_finals crashed.Recovery.r_finals);
+  Printf.printf "epochs %d, crashes %d, reissues %d\n"
+    (List.length crashed.Recovery.r_epochs)
+    crashed.Recovery.r_crashes crashed.Recovery.r_reissues;
+  let finals_identical =
+    List.for_all2
+      (fun (a : Recovery.final) (b : Recovery.final) ->
+        a.Recovery.f_label = b.Recovery.f_label
+        && a.Recovery.f_outcome = b.Recovery.f_outcome
+        && row_strings a.Recovery.f_rows = row_strings b.Recovery.f_rows)
+      calm.Recovery.r_finals crashed.Recovery.r_finals
+  in
+  let ledger_exact (r : Recovery.report) =
+    r.Recovery.r_served + r.Recovery.r_shed + r.Recovery.r_timed_out
+    + r.Recovery.r_unresolved
+    = r.Recovery.r_submitted
+  in
+
+  (* --- phase 2: crash mid-rebuild ----------------------------------- *)
+  (* A persistent fault on CUST_IDX's committed tree file quarantines
+     the index (the verdict is recorded durably in the manifest); the
+     online rebuild reads the heap and writes a *fresh* file, so it
+     can succeed with the injector still live — unless the crash kills
+     it two grants in, leaving an orphan side tree for restart
+     recovery to find. *)
+  let db2, table2 = build () in
+  let pool2 = Database.pool db2 in
+  let manifest2 = Buffer_pool.manifest pool2 in
+  let cust_file =
+    Btree.file_id (Option.get (Table.find_index table2 "CUST_IDX")).Table.tree
+  in
+  Buffer_pool.flush pool2;
+  Buffer_pool.set_injector pool2
+    (Some (Fault.create (Fault.plan ~persistent_files:[ cust_file ] ~seed:8 ())));
+  let chaos_pred =
+    let open Predicate in
+    And [ "CUSTOMER" <% Value.int 100; "DAY" <% Value.int 100 ]
+  in
+  ignore (R.run table2 (R.request ~explicit_goal:Goal.Total_time chaos_pred));
+  let verdict_recorded = Manifest.quarantines manifest2 <> [] in
+  let quarantined_before =
+    Health.state (Table.health table2) "CUST_IDX" = Health.Quarantined
+  in
+  let late =
+    List.map
+      (fun (sp : Traffic.spec) ->
+        Recovery.query ~label:sp.Traffic.label ?limit:sp.Traffic.limit
+          ~arrive_at:100 table2 (request_of sp))
+      (Traffic.orders_mix ~seed:7 ~count:3 ())
+  in
+  let rep2 =
+    Recovery.run ~config:cfg
+      ~crashes:[ [ S.Crash_at_grant 2 ] ]
+      ~repairs:[ (table2, "CUST_IDX") ]
+      db2 late
+  in
+  Buffer_pool.set_injector pool2 None;
+  Bench_common.subsection
+    "phase 2 — quarantined CUST_IDX, rebuild crashed at grant 2, recovered on \
+     restart";
+  let actions2 =
+    match (List.hd rep2.Recovery.r_epochs).Recovery.ep_actions with
+    | Some a -> a
+    | None -> { Recovery.act_orphans = []; act_requarantined = []; act_rebuilds = [] }
+  in
+  List.iter
+    (fun (t, i, f) ->
+      Printf.printf "orphan discarded: %s.%s (side file %d)\n" t i f)
+    actions2.Recovery.act_orphans;
+  List.iter
+    (fun (t, s, e) ->
+      Printf.printf "quarantine restored: %s.%s (escalations %d)\n" t s e)
+    actions2.Recovery.act_requarantined;
+  List.iter
+    (fun (t, i) -> Printf.printf "rebuild resubmitted: %s.%s\n" t i)
+    actions2.Recovery.act_rebuilds;
+  let orphan_found =
+    List.exists
+      (fun (t, i, _) -> t = "ORDERS" && i = "CUST_IDX")
+      actions2.Recovery.act_orphans
+  in
+  let verdict_restored =
+    List.exists
+      (fun (t, s, _) -> t = "ORDERS" && s = "CUST_IDX")
+      actions2.Recovery.act_requarantined
+  in
+  let rebuilt_clean =
+    Manifest.orphans manifest2 = []
+    && Manifest.quarantines manifest2 = []
+    && Health.state (Table.health table2) "CUST_IDX" = Health.Healthy
+    && rep2.Recovery.r_unresolved = 0
+  in
+  Buffer_pool.flush pool2;
+  let rows_after, after_summary =
+    R.run table2 (R.request ~explicit_goal:Goal.Total_time chaos_pred)
+  in
+  let post_recovery_correct =
+    multiset rows_after = multiset (oracle table2 chaos_pred)
+    && after_summary.R.status = R.Completed
+  in
+  Printf.printf "post-recovery query: %d rows, status %s\n"
+    (List.length rows_after)
+    (R.status_to_string after_summary.R.status);
+
+  (* --- phase 3: storm under crashes --------------------------------- *)
+  let db3, table3 = build () in
+  let arrivals = Traffic.storm ~seed:4242 ~count:storm_scale () in
+  let storm_subs =
+    List.map
+      (fun (a : Traffic.arrival) ->
+        let sp = a.Traffic.spec in
+        Recovery.query ~label:sp.Traffic.label ?limit:sp.Traffic.limit
+          ?quota:a.Traffic.quota ?deadline:a.Traffic.deadline
+          ~arrive_at:a.Traffic.arrive_at table3 (request_of sp))
+      arrivals
+  in
+  let storm_cfg =
+    {
+      S.default_config with
+      S.max_inflight = 4;
+      quantum = 6.0;
+      max_queue = 3;
+      shed_policy = S.Shed_largest_quota;
+      pressure_threshold = 4;
+    }
+  in
+  let storm_crashes = Recovery.seeded_crashes ~seed:99 ~epochs:2 ~max_tick:60 in
+  let storm = Recovery.run ~config:storm_cfg ~crashes:storm_crashes db3 storm_subs in
+  Bench_common.subsection
+    (Printf.sprintf
+       "phase 3 — %d-session shedding storm crossed with a seeded 2-epoch crash \
+        schedule"
+       storm_scale);
+  Printf.printf
+    "ledger: %d served + %d shed + %d timed out + %d unresolved = %d submitted \
+     (%d crashes, %d reissues, %d epochs)\n"
+    storm.Recovery.r_served storm.Recovery.r_shed storm.Recovery.r_timed_out
+    storm.Recovery.r_unresolved storm.Recovery.r_submitted storm.Recovery.r_crashes
+    storm.Recovery.r_reissues
+    (List.length storm.Recovery.r_epochs);
+
+  (* --- phase 4: zero-crash identity --------------------------------- *)
+  let specs4 = Traffic.orders_mix ~seed:13 ~count:6 () in
+  let db4, table4 = build () in
+  Buffer_pool.flush (Database.pool db4);
+  let sup4 = Recovery.run ~config:cfg db4 (mix_subs table4 specs4) in
+  let db5, table5 = build () in
+  Buffer_pool.flush (Database.pool db5);
+  let sched5 = S.create ~config:cfg db5 in
+  List.iter
+    (fun (sp : Traffic.spec) ->
+      ignore
+        (S.submit sched5 ~label:sp.Traffic.label ?limit:sp.Traffic.limit table5
+           (request_of sp)))
+    specs4;
+  let direct5 = S.run sched5 in
+  let zero_crash_identical =
+    S.report_to_string (List.hd sup4.Recovery.r_epochs).Recovery.ep_report
+    = S.report_to_string direct5
+  in
+
+  Bench_common.metric "crash_crashes"
+    (float_of_int (crashed.Recovery.r_crashes + storm.Recovery.r_crashes));
+  Bench_common.metric ~dir:Bench_common.Lower_better "crash_reissues"
+    (float_of_int crashed.Recovery.r_reissues);
+  Bench_common.metric ~dir:Bench_common.Lower_better "crash_epochs"
+    (float_of_int (List.length crashed.Recovery.r_epochs));
+  Bench_common.metric ~dir:Bench_common.Higher_better "crash_storm_served"
+    (float_of_int storm.Recovery.r_served);
+  Bench_common.metric ~dir:Bench_common.Lower_better "crash_storm_reissues"
+    (float_of_int storm.Recovery.r_reissues);
+
+  (* --- checkpoints ---------------------------------------------------- *)
+  Bench_common.subsection "paper checkpoints";
+  Printf.printf "both scheduled crashes fired (mid-plan and mid-scan): %b\n"
+    (crashed.Recovery.r_crashes = 2 && crashed.Recovery.r_reissues >= 2);
+  Printf.printf
+    "reissued rows byte-identical to the never-crashed run (%d submissions): %b\n"
+    (List.length specs) finals_identical;
+  Printf.printf
+    "exact cross-epoch accounting with nothing unresolved: %b\n"
+    (ledger_exact crashed && crashed.Recovery.r_unresolved = 0 && ledger_exact calm);
+  Printf.printf
+    "persistent fault quarantined CUST_IDX and the verdict reached the manifest: \
+     %b\n"
+    (quarantined_before && verdict_recorded);
+  Printf.printf "crash mid-rebuild left a detectable orphan, discarded on restart: %b\n"
+    orphan_found;
+  Printf.printf "quarantine restored from the durable verdict on restart: %b\n"
+    verdict_restored;
+  Printf.printf
+    "resubmitted rebuild completed: no orphans, no verdicts, CUST_IDX healthy: %b\n"
+    rebuilt_clean;
+  Printf.printf "post-recovery rows match the full-scan oracle: %b\n"
+    post_recovery_correct;
+  Printf.printf
+    "storm ledger exact under crashes (served+shed+timed out+unresolved = \
+     submitted): %b\n"
+    (ledger_exact storm && storm.Recovery.r_unresolved = 0);
+  Printf.printf
+    "storm exercised every exit (shed %d > 0, timed out %d > 0, crashes %d > 0): %b\n"
+    storm.Recovery.r_shed storm.Recovery.r_timed_out storm.Recovery.r_crashes
+    (storm.Recovery.r_shed > 0 && storm.Recovery.r_timed_out > 0
+    && storm.Recovery.r_crashes > 0);
+  Printf.printf "finite crash schedule: supervisor terminated (%d epochs <= %d): %b\n"
+    (List.length storm.Recovery.r_epochs)
+    (List.length storm_crashes + 1)
+    (List.length storm.Recovery.r_epochs <= List.length storm_crashes + 1);
+  Printf.printf "zero-crash supervisor byte-identical to the scheduler: %b\n"
+    zero_crash_identical

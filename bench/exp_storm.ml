@@ -97,6 +97,7 @@ let outcome_kind (s : S.session_stats) =
   | S.Served -> `Served
   | S.Timed_out _ -> `Timed_out
   | S.Shed _ -> `Shed
+  | S.Lost _ -> `Lost (* storms run without crash points; never fires *)
 
 (* Per-session record of one shard-count run: outcome, an ordered-rows
    digest for served sessions (timed-out partials are cost-dependent,
@@ -286,7 +287,8 @@ let run () =
             (* timed out on arrival: never ran, charged nothing *)
             s.S.s_quanta = 0 && s.S.s_charged = 0.0 && s.S.s_rows = 0
         | S.Shed _, None -> s.S.s_quanta = 0 && s.S.s_charged = 0.0 && s.S.s_rows = 0
-        | S.Served, None | S.Shed _, Some _ -> false)
+        | S.Served, None | S.Shed _, Some _ -> false
+        | S.Lost _, _ -> false (* no crash points in storms *))
       sessions
   in
   let partial_rows_kept =

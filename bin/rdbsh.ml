@@ -19,6 +19,10 @@
                         scheduler, I in-flight, workload seeded with SEED
                         (default 7), buffer pool split into SHARDS LRU
                         shards (default: leave the pool as-is)
+     .crash [G] [N] [SEED]  N queries through the crash–restart
+                        supervisor: the scheduler dies at grant G,
+                        restart recovery reissues the lost queries, and
+                        the cross-epoch journal and ledger are printed
      .quit              exit
 
    Anything else is SQL; EXPLAIN SELECT ... shows the dynamic
@@ -99,6 +103,49 @@ let run_concurrent db ?shards inflight count seed =
     shard_note;
   print_string (S.report_to_string (S.run sched))
 
+(* .crash: the same seeded workload through the crash–restart
+   supervisor (DESIGN.md §15) — the scheduler dies at the given grant,
+   restart recovery tears down the volatile state and reissues every
+   lost query, and the cross-epoch journal and ledger are printed. *)
+let run_crash db grant count seed =
+  let usage = "usage: .crash [GRANT>=1] [COUNT>=1] [SEED]" in
+  if grant < 1 then failwith usage;
+  if count < 1 then failwith usage;
+  load_demo db;
+  let table = Database.table db "ORDERS" in
+  let specs = Rdb_workload.Traffic.orders_mix ~seed ~count () in
+  let module S = Rdb_core.Session in
+  let module R = Rdb_core.Retrieval in
+  let module Recovery = Rdb_core.Recovery in
+  let subs =
+    List.map
+      (fun (sp : Rdb_workload.Traffic.spec) ->
+        Recovery.query ~label:sp.Rdb_workload.Traffic.label
+          ?limit:sp.Rdb_workload.Traffic.limit table
+          (R.request ~env:sp.Rdb_workload.Traffic.env
+             ~order_by:sp.Rdb_workload.Traffic.order_by
+             ?explicit_goal:
+               (if sp.Rdb_workload.Traffic.fast_first then
+                  Some Rdb_core.Goal.Fast_first
+                else None)
+             sp.Rdb_workload.Traffic.pred))
+      specs
+  in
+  let config =
+    {
+      S.default_config with
+      S.max_inflight = 4;
+      S.quantum = 4.0;
+      S.retrieval = retrieval_config;
+      S.metrics = Some registry;
+    }
+  in
+  Printf.printf "%d queries (seed %d), crash at grant %d, restart, reissue:\n" count
+    seed grant;
+  print_string
+    (Recovery.report_to_string
+       (Recovery.run ~config ~crashes:[ [ S.Crash_at_grant grant ] ] db subs))
+
 let show_tables db =
   List.iter
     (fun t ->
@@ -174,7 +221,8 @@ let meta db line =
   | [ ".help" ] ->
       print_endline
         ".tables | .demo | .set NAME VALUE | .unset NAME | .params | .flush | .stats | \
-         .health | .concurrent [INFLIGHT] [COUNT] [SEED] [SHARDS] | .quit — else SQL \
+         .health | .concurrent [INFLIGHT] [COUNT] [SEED] [SHARDS] | .crash [GRANT] \
+         [COUNT] [SEED] | .quit — else SQL \
          (SELECT/INSERT/UPDATE/DELETE/CREATE/EXPLAIN/CHECK/REPAIR)"
   | [ ".tables" ] -> show_tables db
   | [ ".demo" ] -> load_demo db
@@ -233,6 +281,20 @@ let meta db line =
         | _ -> failwith usage
       in
       run_concurrent db ?shards inflight count seed
+  | ".crash" :: rest ->
+      let usage = "usage: .crash [GRANT>=1] [COUNT>=1] [SEED]" in
+      let int_arg s =
+        match int_of_string_opt s with Some n -> n | None -> failwith usage
+      in
+      let grant, count, seed =
+        match rest with
+        | [] -> (6, 12, 7)
+        | [ g ] -> (int_arg g, 12, 7)
+        | [ g; c ] -> (int_arg g, int_arg c, 7)
+        | [ g; c; s ] -> (int_arg g, int_arg c, int_arg s)
+        | _ -> failwith usage
+      in
+      run_crash db grant count seed
   | [ ".params" ] ->
       List.iter (fun (k, v) -> Printf.printf ":%s = %s\n" k (Value.to_string v)) !params
   | [ ".set"; name; value ] ->

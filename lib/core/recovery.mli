@@ -1,0 +1,147 @@
+(** Crash–restart supervision: volatile teardown, restart recovery,
+    and a journal that reissues submissions lost to crashes.
+
+    The crash model (DESIGN.md §15) is FoundationDB-style deterministic
+    simulation: a {!Session.crash_point} kills the scheduler at a grant
+    boundary, losing every piece of {e volatile} state — buffer-pool
+    residency, open cursors, scheduler queues, health counters, the
+    feedback store, metrics — while {e durable} state (heap pages,
+    committed trees, the {!Rdb_storage.Manifest}) survives.  This
+    module owns the other half of the story:
+
+    + {!crash_teardown} — wipe the volatile state, exactly once per
+      crash, so the next epoch starts as cold as a real restart.
+    + {!recover} — the restart protocol: discard orphan side trees
+      (rebuilds that died [Building]), restore quarantine verdicts
+      from the manifest into each table's health registry (backoff
+      re-derived from the persisted escalation count), and name the
+      rebuilds to resubmit.  Idempotent: recovery crashing and
+      re-running reaches the same state (pinned by
+      [test_recovery.ml]).
+    + {!run} — the epoch supervisor: submit a journaled workload,
+      crash where the schedule says, tear down, recover, reissue every
+      submission that was lost, and repeat until an epoch completes
+      cleanly.  Every submission ends in {e exactly one} terminal
+      outcome across any number of crashes:
+      served + shed + timed_out + unresolved = submitted, with losses
+      counted separately as reissues.
+
+    Crashes lose cost and progress, never answers or accounting: a
+    reissued query re-runs from scratch on a cold cache and must
+    return exactly the rows a never-crashed run returns (pinned by
+    [bench -e crash]). *)
+
+open Rdb_data
+open Rdb_engine
+open Rdb_exec
+
+type submission
+
+val query :
+  ?label:string ->
+  ?config:Retrieval.config ->
+  ?limit:int ->
+  ?quota:float ->
+  ?deadline:float ->
+  ?arrive_at:int ->
+  Table.t ->
+  Retrieval.request ->
+  submission
+(** A journaled query submission; the parameters mirror
+    {!Session.submit}.  [arrive_at] applies to the first epoch only —
+    a reissue after a crash re-arrives at tick 0 (the reconnecting
+    client retries immediately); a reissued deadline query gets its
+    full deadline again (the crash lost its spent cost too). *)
+
+(** Restart-recovery actions, in deterministic (sorted) order. *)
+type actions = {
+  act_orphans : (string * string * int) list;
+      (** discarded orphan side trees as [(table, index, side_file)] *)
+  act_requarantined : (string * string * int) list;
+      (** restored verdicts as [(table, structure, escalations)];
+          includes orphaned indexes with no prior verdict, conservatively
+          re-quarantined at escalation 0 *)
+  act_rebuilds : (string * string) list;
+      (** index rebuilds to resubmit as [(table, index)] — every
+          restored-quarantined structure that is an index (the heap's
+          exit stays the re-probe / [REPAIR TABLE] path) *)
+}
+
+val crash_teardown : Database.t -> unit
+(** Tear down all volatile state: flush every buffer-pool shard, reset
+    the pool's metrics registry (when attached), and
+    {!Table.reset_volatile} every table (health entries, feedback
+    store, cached stats).  Durable state — heap contents, committed
+    trees, the manifest — is untouched. *)
+
+val recover : ?trace:Trace.t -> Database.t -> actions
+(** The restart protocol against the manifest (see module doc).
+    Emits {!Trace.event.Orphan_discarded} /
+    {!Trace.event.Quarantine_restored} /
+    {!Trace.event.Rebuild_resubmitted} events into [trace] when
+    given.  Safe to call any number of times: a second pass finds no
+    orphans and restores the same verdicts. *)
+
+type epoch_report = {
+  ep_index : int;  (** 0-based epoch (restart count) *)
+  ep_report : Session.report;
+  ep_actions : actions option;
+      (** [Some] iff this epoch crashed: the recovery that followed *)
+}
+
+(** Final journal state of one submission. *)
+type final = {
+  f_label : string;
+  f_outcome : Session.outcome option;
+      (** the unique terminal outcome; [None] only if the supervisor
+          stopped with the submission still unresolved (a clean final
+          epoch never leaves any) *)
+  f_rows : Row.t list;  (** rows of the epoch that resolved it *)
+  f_lost_count : int;  (** times it was lost to a crash and reissued *)
+}
+
+type report = {
+  r_epochs : epoch_report list;  (** in epoch order *)
+  r_submitted : int;
+  r_served : int;
+  r_shed : int;
+  r_timed_out : int;
+  r_unresolved : int;
+      (** exact cross-epoch accounting:
+          served + shed + timed_out + unresolved = submitted *)
+  r_crashes : int;
+  r_reissues : int;  (** total lost-then-reissued occurrences *)
+  r_finals : final list;  (** in submission order *)
+  r_trace : Trace.event list;
+      (** crash / orphan / restore / resubmit / reissue events, in
+          order *)
+}
+
+val run :
+  ?config:Session.config ->
+  ?crashes:Session.crash_point list list ->
+  ?repairs:(Table.t * string) list ->
+  Database.t ->
+  submission list ->
+  report
+(** The epoch supervisor.  Element [i] of [crashes] is the crash
+    schedule of epoch [i] (missing elements mean crash-free, so the
+    loop always terminates).  [repairs] are submitted in epoch 0
+    (labelled ["repair:<index>"]); rebuilds recovery resubmits are
+    labelled ["recover:<index>"].  Each epoch creates a fresh
+    scheduler from [config] (with that epoch's crash points),
+    submits every unresolved journal entry in submission order plus
+    the pending repairs, runs it, then — on a crash — tears down,
+    recovers, and loops while work remains.  With an empty [crashes]
+    schedule the single epoch's report is byte-identical to running
+    {!Session} directly. *)
+
+val seeded_crashes :
+  seed:int -> epochs:int -> max_tick:int -> Session.crash_point list list
+(** A deterministic crash schedule from a {!Rdb_util.Prng} seed: one
+    [Crash_at_grant] per epoch, uniform on [[1, max_tick]]. *)
+
+val report_to_string : report -> string
+(** Deterministic rendering: each epoch's scheduler report under an
+    ["== epoch N =="] header with its recovery summary, the journal's
+    final outcome per submission, and the cross-epoch ledger. *)

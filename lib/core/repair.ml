@@ -8,6 +8,7 @@ type t = {
   table : Table.t;
   index : string;
   new_tree : Btree.t;
+  rebuild_id : int;  (* two-phase manifest record (DESIGN.md §15) *)
   key_of : Row.t -> Btree.key;
   meter : Cost.t;
   cursor : Heap_file.cursor;
@@ -47,11 +48,24 @@ let create ?(batch = default_batch) ?(retry_limit = default_retry_limit) table ~
     | None -> invalid_arg ("Repair.create: unknown index " ^ index)
   in
   let meter = Cost.create () in
+  let new_tree =
+    Btree.create ~fanout:(Btree.fanout idx.Table.tree) (Table.pool table)
+  in
+  (* Two-phase rebuild: register the side tree in the durable manifest
+     before copying a single row.  A crash at any later step boundary
+     leaves this record [Building] — a detectable orphan recovery
+     discards — never a half-swapped tree. *)
+  let rebuild_id =
+    Manifest.begin_rebuild
+      (Buffer_pool.manifest (Table.pool table))
+      ~table:(Table.name table) ~index ~side_file:(Btree.file_id new_tree)
+  in
   let t =
     {
       table;
       index;
-      new_tree = Btree.create ~fanout:(Btree.fanout idx.Table.tree) (Table.pool table);
+      new_tree;
+      rebuild_id;
       key_of = Table.index_key idx;
       meter;
       cursor = Heap_file.scan (Table.heap table) meter;
@@ -76,7 +90,16 @@ let result t = t.result
 
 let finish t ok =
   t.result <- Some ok;
-  if ok then Table.replace_index t.table ~name:t.index t.new_tree;
+  (* Manifest commit and tree swap happen in the same driver step, and
+     crashes only fire between steps — the pair is atomic.  A failed
+     rebuild aborts its record so the side tree is never mistaken for
+     an orphan of a crash. *)
+  let manifest = Buffer_pool.manifest (Table.pool t.table) in
+  if ok then begin
+    Manifest.commit_rebuild manifest t.rebuild_id;
+    Table.replace_index t.table ~name:t.index t.new_tree
+  end
+  else Manifest.abort_rebuild manifest t.rebuild_id;
   emit_transition t
     (Health.end_rebuild (Table.health t.table) ~now:(Table.now t.table) ~ok t.index);
   (match Buffer_pool.metrics (Table.pool t.table) with

@@ -5,6 +5,8 @@ open Rdb_storage
 
 type shed_policy = Shed_newest | Shed_largest_quota
 
+type crash_point = Crash_at_grant of int | Crash_at_cost of float
+
 type config = {
   max_inflight : int;
   quantum : float;
@@ -14,6 +16,7 @@ type config = {
   shed_policy : shed_policy;
   pressure_threshold : int;
   pool_shards : int option;
+  crash_points : crash_point list;
   retrieval : Retrieval.config;
   record_events : bool;
   metrics : Rdb_util.Metrics.t option;
@@ -29,6 +32,7 @@ let default_config =
     shed_policy = Shed_newest;
     pressure_threshold = max_int;
     pool_shards = None;
+    crash_points = [];
     retrieval = Retrieval.default_config;
     record_events = true;
     metrics = None;
@@ -40,12 +44,14 @@ type outcome =
   | Served
   | Timed_out of { deadline : float; spent : float }
   | Shed of { reason : string }
+  | Lost of { at_tick : int }
 
 let outcome_to_string = function
   | Served -> "served"
   | Timed_out { deadline; spent } ->
       Printf.sprintf "timed out (%.1f spent of %.1f)" spent deadline
   | Shed { reason } -> "shed: " ^ reason
+  | Lost { at_tick } -> Printf.sprintf "lost to crash at grant %d" at_tick
 
 type event =
   | Submitted of { id : id; label : string }
@@ -54,6 +60,7 @@ type event =
   | Shed_event of { id : id; tick : int; reason : string }
   | Timed_out_event of { id : id; tick : int; spent : float; deadline : float }
   | Degraded of { id : id; tick : int; depth : int }
+  | Crashed of { tick : int; lost : int }
 
 type session_stats = {
   s_id : id;
@@ -94,6 +101,8 @@ type pool_stats = {
   p_served : int;
   p_shed : int;
   p_timed_out : int;
+  p_lost : int;
+  p_crash_tick : int option;
   p_shards : int;
   p_shard_lookups : int array;
   p_lookup_balance : float;
@@ -445,6 +454,46 @@ let run t =
     admit ();
     shed_excess ()
   in
+  (* Deterministic crash injection (DESIGN.md §15).  Crashes fire only
+     at grant boundaries — the step-boundary crash model — so any
+     multi-operation sequence inside one step (e.g. manifest commit +
+     tree swap) is atomic by construction.  [crash_points = []] (the
+     default) short-circuits: no cost reads, no behaviour change. *)
+  let crash_tick = ref None in
+  let crash_due () =
+    match t.cfg.crash_points with
+    | [] -> false
+    | pts ->
+        List.exists
+          (function
+            | Crash_at_grant g -> !tick >= g
+            | Crash_at_cost c ->
+                Cost.total (Buffer_pool.global_meter pool) -. Cost.total meter0 >= c)
+          pts
+  in
+  (* The process dies: every non-terminal submission loses its rows,
+     cursor and any in-flight rebuild — no close, no summary, no
+     feedback teaching; the work simply vanishes.  Terminal outcomes
+     (served / shed / timed out) already happened and stand. *)
+  let do_crash () =
+    crash_tick := Some !tick;
+    let lost = List.filter (fun j -> j.j_outcome = None) all in
+    List.iter
+      (fun j ->
+        (match j.j_work with
+        | W_query q ->
+            q.q_rows <- [];
+            q.q_cursor <- None;
+            q.q_summary <- None
+        | W_repair _ -> ());
+        j.j_outcome <- Some (Lost { at_tick = !tick });
+        metric_incr "session.lost")
+      lost;
+    pending := [];
+    active := [];
+    unarrived := [];
+    emit t (Crashed { tick = !tick; lost = List.length lost })
+  in
   (* Least-charged-first with a starvation override: any session passed
      over for [starvation_bound] consecutive grants runs next. *)
   let pick_next () =
@@ -525,22 +574,25 @@ let run t =
         end
   in
   let rec loop () =
-    settle ();
-    match pick_next () with
-    | Some j ->
-        grant j;
-        loop ()
-    | None -> (
-        (* No runnable session and (post-settle) nothing admissible: if
-           arrivals remain, the pool idles forward to the next one —
-           each iteration either grants (tick advances) or arrives a
-           job, so the loop terminates. *)
-        match !unarrived with
-        | [] -> ()
-        | j :: _ ->
-            (* sorted by arrival tick: the head is the next arrival *)
-            tick := max !tick j.j_arrive_at;
-            loop ())
+    if crash_due () then do_crash ()
+    else begin
+      settle ();
+      match pick_next () with
+      | Some j ->
+          grant j;
+          loop ()
+      | None -> (
+          (* No runnable session and (post-settle) nothing admissible: if
+             arrivals remain, the pool idles forward to the next one —
+             each iteration either grants (tick advances) or arrives a
+             job, so the loop terminates. *)
+          match !unarrived with
+          | [] -> ()
+          | j :: _ ->
+              (* sorted by arrival tick: the head is the next arrival *)
+              tick := max !tick j.j_arrive_at;
+              loop ())
+    end
   in
   loop ();
   let meter1 = Buffer_pool.global_meter pool in
@@ -582,14 +634,19 @@ let run t =
         match j.j_work with
         | W_query _ -> None
         | W_repair r ->
-            let rp = Option.get r.r_repair in
-            let trace = Trace.events (Repair.trace rp) in
+            (* A crash can leave a repair with no [Repair.t] at all
+               (lost before admission) — report it with zero work. *)
+            let entries, trace =
+              match r.r_repair with
+              | Some rp -> (Repair.entries rp, Trace.events (Repair.trace rp))
+              | None -> (0, [])
+            in
             Some
               {
                 r_id = j.j_id;
                 r_label = j.j_label;
                 r_index = r.r_rindex;
-                r_entries = Repair.entries rp;
+                r_entries = entries;
                 r_ok = (match r.r_result with Some ok -> ok | None -> false);
                 r_quanta = j.j_quanta;
                 r_charged = j.j_charged;
@@ -612,6 +669,7 @@ let run t =
   let timed_out =
     count (fun j -> match outcome_of j with Timed_out _ -> true | _ -> false)
   in
+  let lost = count (fun j -> match outcome_of j with Lost _ -> true | _ -> false) in
   (match t.cfg.metrics with
   | None -> ()
   | Some m ->
@@ -656,6 +714,8 @@ let run t =
         p_served = served;
         p_shed = shed;
         p_timed_out = timed_out;
+        p_lost = lost;
+        p_crash_tick = !crash_tick;
         p_shards = Buffer_pool.shards pool;
         p_shard_lookups = shard_lookups;
         p_lookup_balance = lookup_balance;
@@ -688,6 +748,8 @@ let event_to_string = function
         deadline
   | Degraded { id; tick; depth } ->
       Printf.sprintf "degraded q%d at grant %d (queue depth %d)" id tick depth
+  | Crashed { tick; lost } ->
+      Printf.sprintf "CRASH at grant %d (%d submissions lost)" tick lost
 
 let report_to_string r =
   let buf = Buffer.create 512 in
@@ -733,9 +795,25 @@ let report_to_string r =
          r.pool.p_shards r.pool.p_lookup_balance
          (String.concat "/"
             (Array.to_list (Array.map string_of_int r.pool.p_shard_lookups))));
-  Buffer.add_string buf
-    (Printf.sprintf "admissions: %d served + %d shed + %d timed out = %d submitted\n"
-       r.pool.p_served r.pool.p_shed r.pool.p_timed_out r.pool.p_submitted);
+  (* Crash-free reports keep the exact historical ledger line; the
+     crash line and the [+ lost] term only appear when a crash fired,
+     so a zero-crash run renders byte-identically to before. *)
+  (match r.pool.p_crash_tick with
+  | None -> ()
+  | Some tick ->
+      Buffer.add_string buf
+        (Printf.sprintf "crash: process died at grant %d (%d submissions lost)\n" tick
+           r.pool.p_lost));
+  if r.pool.p_lost > 0 || r.pool.p_crash_tick <> None then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "admissions: %d served + %d shed + %d timed out + %d lost = %d submitted\n"
+         r.pool.p_served r.pool.p_shed r.pool.p_timed_out r.pool.p_lost
+         r.pool.p_submitted)
+  else
+    Buffer.add_string buf
+      (Printf.sprintf "admissions: %d served + %d shed + %d timed out = %d submitted\n"
+         r.pool.p_served r.pool.p_shed r.pool.p_timed_out r.pool.p_submitted);
   (match r.events with
   | [] -> ()
   | evs ->

@@ -58,6 +58,14 @@ type shed_policy =
       (** drop the largest declared cost quota — unbounded work first;
           ties broken newest-first *)
 
+type crash_point =
+  | Crash_at_grant of int
+      (** the process dies at the first grant boundary with
+          [tick >= g] *)
+  | Crash_at_cost of float
+      (** … at the first grant boundary at which the run's charged
+          cost (global-meter delta since {!run} started) reaches [c] *)
+
 type config = {
   max_inflight : int;  (** admission-control limit, >= 1 *)
   quantum : float;  (** cost units granted per scheduling slice *)
@@ -83,6 +91,18 @@ type config = {
           cost-only).  Sharding steers contention and cost, never
           results.  [None] — the default — leaves the pool as created;
           [Some 1] on a single-shard pool is byte-identical to [None] *)
+  crash_points : crash_point list;
+      (** deterministic crash injection (DESIGN.md §15): the run ends
+          at the first grant boundary at which any point has fired —
+          every non-terminal submission becomes {!outcome.Lost} (rows,
+          cursors and in-flight rebuilds vanish; terminal outcomes
+          stand), a {!event.Crashed} event is emitted, and the report
+          carries [p_crash_tick].  The scheduler performs no volatile
+          teardown itself — that is {!Recovery.crash_teardown}'s job —
+          and crashes only fire {e between} grants, so any
+          multi-operation commit inside one step is atomic.  [[]] —
+          the default — is byte-identical to a scheduler without crash
+          support *)
   retrieval : Retrieval.config;  (** default per-query config *)
   record_events : bool;  (** keep the scheduler event log (golden tests) *)
   metrics : Rdb_util.Metrics.t option;
@@ -102,6 +122,11 @@ type outcome =
       (** cost deadline exceeded; the partial rows delivered stand *)
   | Shed of { reason : string }
       (** dropped by the bounded queue before a cursor ever opened *)
+  | Lost of { at_tick : int }
+      (** the process crashed at grant [at_tick] before this
+          submission reached a terminal outcome; its partial rows and
+          progress are gone (a restart reissues it from the journal —
+          {!Recovery}) *)
 
 val outcome_to_string : outcome -> string
 
@@ -116,6 +141,9 @@ type event =
       (** the cost deadline cancelled this session at a grant boundary *)
   | Degraded of { id : id; tick : int; depth : int }
       (** admitted under pressure with background refinement disabled *)
+  | Crashed of { tick : int; lost : int }
+      (** a configured crash point fired; [lost] submissions became
+          {!outcome.Lost} *)
 
 type session_stats = {
   s_id : id;
@@ -160,7 +188,12 @@ type pool_stats = {
   p_served : int;
   p_shed : int;
   p_timed_out : int;
-      (** exact accounting: served + shed + timed_out = submitted *)
+  p_lost : int;
+      (** exact accounting:
+          served + shed + timed_out + lost = submitted (lost is 0
+          unless a crash point fired) *)
+  p_crash_tick : int option;
+      (** the grant at which the run crashed; [None] on a clean run *)
   p_shards : int;  (** buffer-pool shard count during the run *)
   p_shard_lookups : int array;
       (** residency probes this run performed, per shard *)

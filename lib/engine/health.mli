@@ -97,6 +97,41 @@ val end_rebuild : t -> now:float -> ok:bool -> string -> transition option
 (** [ok = true]: [-> Healthy] with budgets reset.  [ok = false]:
     [-> Quarantined] with the backoff escalated. *)
 
+(** {1 Durable verdicts and crash recovery}
+
+    The registry itself is volatile — a crash loses every counter —
+    but quarantine {e verdicts} are durable facts about storage, so an
+    observer (wired by [Table] to the pool's manifest) is told
+    whenever a structure is quarantined (with its current backoff
+    escalation count) or proven healthy again.  Restart recovery
+    replays the persisted verdicts back in through
+    {!restore_quarantined}. *)
+
+type verdict =
+  | Verdict_quarantined of { escalations : int }
+      (** quarantined, with the number of backoff escalations so far *)
+  | Verdict_cleared  (** proven healthy (probe success / rebuild) *)
+
+val set_observer : t -> (string -> verdict -> unit) -> unit
+(** Install the durable-verdict observer (at most one; later calls
+    replace).  Called synchronously on every quarantine, escalation,
+    and clear — observation-only, it must not call back into [t]. *)
+
+val reset : t -> unit
+(** Crash teardown: drop every entry (states, counters, budgets).  The
+    observer survives — it is wiring, not state. *)
+
+val restore_quarantined : t -> now:float -> escalations:int -> string -> unit
+(** Recovery: reconstruct a quarantined entry from a persisted
+    verdict.  The backoff budget is re-derived as
+    [backoff_budget *. backoff_factor ** escalations] and the next
+    probe is due a full budget after [now] — exactly the state the
+    pre-crash registry would have reached by the same escalations.
+    Raises [Invalid_argument] on a negative count. *)
+
+val escalations : t -> string -> int
+(** Current backoff escalation count (0 if never escalated). *)
+
 (** {1 Queries} *)
 
 val usable : t -> now:float -> string -> bool

@@ -26,6 +26,18 @@ type t = {
 let create ?page_bytes pool ~name schema =
   let heap = Heap_file.create ?page_bytes pool in
   Buffer_pool.name_file pool ~file:(Heap_file.file_id heap) ("table:" ^ name);
+  let health = Health.create () in
+  (* Quarantine verdicts are durable facts about storage: mirror every
+     quarantine/escalation/clear into the pool's manifest so a restart
+     can reconstruct the registry (DESIGN.md §15).  Observation-only
+     and cost-free — crash-free runs are unaffected. *)
+  let manifest = Buffer_pool.manifest pool in
+  Health.set_observer health (fun structure verdict ->
+      match verdict with
+      | Health.Verdict_quarantined { escalations } ->
+          Manifest.record_quarantine manifest ~table:name ~structure ~escalations
+      | Health.Verdict_cleared ->
+          Manifest.clear_quarantine manifest ~table:name ~structure);
   {
     name;
     schema;
@@ -35,7 +47,7 @@ let create ?page_bytes pool ~name schema =
     build = Cost.create ();
     preferred = [];
     clustering_cache = Hashtbl.create 4;
-    health = Health.create ();
+    health;
     feedback = Feedback.create ();
   }
 
@@ -109,12 +121,18 @@ let create_index t ?(fanout = 64) ~name:iname ~columns () =
   let idx = { idx_name = iname; key_columns = columns; key_ids; tree } in
   Heap_file.iter t.heap t.build (fun rid row -> Btree.insert tree t.build (index_key idx row) rid);
   t.indexes <- t.indexes @ [ idx ];
+  Manifest.commit_index (Buffer_pool.manifest t.pool) ~table:t.name ~index:iname
+    ~file:(Btree.file_id tree);
   idx
 
 let drop_index t iname =
   let before = List.length t.indexes in
   t.indexes <- List.filter (fun i -> i.idx_name <> iname) t.indexes;
-  List.length t.indexes < before
+  if List.length t.indexes < before then begin
+    Manifest.forget_index (Buffer_pool.manifest t.pool) ~table:t.name ~index:iname;
+    true
+  end
+  else false
 
 let index_covers idx ~columns =
   List.for_all (fun c -> List.mem c idx.key_columns) columns
@@ -223,12 +241,23 @@ let invalidate_stats t =
   t.preferred <- [];
   Feedback.reset t.feedback
 
+(* Crash teardown: everything this table keeps outside the heap pages
+   and committed trees is volatile — health states and counters,
+   learned feedback, cached clustering, the preferred order.  The
+   manifest (reachable via the pool) survives; recovery reconstructs
+   health from it. *)
+let reset_volatile t =
+  Health.reset t.health;
+  invalidate_stats t
+
 let replace_index t ~name:iname tree =
   match List.find_opt (fun i -> i.idx_name = iname) t.indexes with
   | None -> invalid_arg ("Table.replace_index: unknown index " ^ iname)
   | Some old ->
       Buffer_pool.name_file t.pool ~file:(Btree.file_id tree) ("index:" ^ iname);
       Buffer_pool.evict_file t.pool (Btree.file_id old.tree);
+      Manifest.commit_index (Buffer_pool.manifest t.pool) ~table:t.name ~index:iname
+        ~file:(Btree.file_id tree);
       t.indexes <-
         List.map
           (fun i -> if i.idx_name = iname then { i with tree } else i)

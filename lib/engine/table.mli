@@ -117,9 +117,17 @@ val invalidate_stats : t -> unit
     learned feedback factors — the estimation re-seed after a
     structural change. *)
 
+val reset_volatile : t -> unit
+(** Crash teardown (DESIGN.md §15): drop every piece of this table's
+    soft state — the health registry's entries ({!Health.reset}) plus
+    everything {!invalidate_stats} drops.  Heap contents, committed
+    trees and the pool's manifest are durable and untouched; restart
+    recovery reconstructs health from the manifest's verdicts. *)
+
 val replace_index : t -> name:string -> Btree.t -> unit
 (** Atomically swap in a rebuilt tree for the named index: the new
-    file takes over the index's pool label, the old file's resident
-    blocks are evicted, and cached estimation state is invalidated
+    file takes over the index's pool label and becomes the committed
+    tree in the pool's manifest, the old file's resident blocks are
+    evicted, and cached estimation state is invalidated
     ({!invalidate_stats}).  Raises [Invalid_argument] on an unknown
     name. *)

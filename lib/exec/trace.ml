@@ -36,6 +36,11 @@ type event =
       (** a storage structure moved through the health-state machine *)
   | Repair_started of { index : string }
   | Repair_done of { index : string; entries : int; cost : float; ok : bool }
+  | Crash of { epoch : int; tick : int; lost : int }
+  | Orphan_discarded of { index : string; side_file : int }
+  | Quarantine_restored of { structure : string; escalations : int }
+  | Rebuild_resubmitted of { index : string }
+  | Reissued of { label : string; epoch : int }
 
 type t = event Dynarray.t
 
@@ -96,6 +101,19 @@ let event_to_string = function
       Printf.sprintf "repair of %s %s: %d entries, cost %.2f" index
         (if ok then "done" else "FAILED")
         entries cost
+  | Crash { epoch; tick; lost } ->
+      Printf.sprintf "CRASH in epoch %d at grant %d (%d submissions lost)" epoch tick
+        lost
+  | Orphan_discarded { index; side_file } ->
+      Printf.sprintf "recovery: discarded orphan side tree of %s (file %d)" index
+        side_file
+  | Quarantine_restored { structure; escalations } ->
+      Printf.sprintf "recovery: restored quarantine of %s (escalations %d)" structure
+        escalations
+  | Rebuild_resubmitted { index } ->
+      Printf.sprintf "recovery: resubmitted rebuild of %s" index
+  | Reissued { label; epoch } ->
+      Printf.sprintf "recovery: reissued %s in epoch %d" label epoch
 
 let pp fmt t =
   Dynarray.iter (fun e -> Format.fprintf fmt "%s@." (event_to_string e)) t

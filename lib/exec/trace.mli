@@ -60,6 +60,22 @@ type event =
       (** an online index rebuild was admitted *)
   | Repair_done of { index : string; entries : int; cost : float; ok : bool }
       (** the rebuild finished: [ok] means the new tree was swapped in *)
+  | Crash of { epoch : int; tick : int; lost : int }
+      (** the process died at a grant boundary, losing [lost]
+          non-terminal submissions (crash–restart model, DESIGN.md
+          §15) *)
+  | Orphan_discarded of { index : string; side_file : int }
+      (** restart recovery found an uncommitted [Building] rebuild
+          record and dropped its side tree *)
+  | Quarantine_restored of { structure : string; escalations : int }
+      (** recovery reconstructed a quarantine from a persisted
+          manifest verdict, backoff re-derived from [escalations] *)
+  | Rebuild_resubmitted of { index : string }
+      (** recovery queued a fresh rebuild for an orphaned or
+          quarantined index in the next epoch *)
+  | Reissued of { label : string; epoch : int }
+      (** a submission lost to a crash was re-admitted from the
+          journal in [epoch] *)
 
 type t
 

@@ -752,6 +752,25 @@ let execute ?(env = []) ?config db stmt =
         | Some t -> t
         | None -> fail "no such table: %s" tname
       in
+      (* Heal corrupt heap pages first: the heap is the ground truth
+         every index rebuild copies from, and an unreadable page would
+         otherwise abort the consistency check below.  Persistent heap
+         faults still abort — a rewrite cannot fix a dead disk. *)
+      let heap_rewrites =
+        try
+          Rdb_storage.Heap_file.rewrite_corrupt_pages (Table.heap table)
+            (Table.build_meter table)
+        with Rdb_storage.Fault.Injected f ->
+          fail "REPAIR %s aborted: heap unreadable (%s)" tname
+            (Rdb_storage.Fault.describe f)
+      in
+      if heap_rewrites > 0 then
+        ignore (Health.mark_healthy (Table.health table) Table.heap_structure);
+      let heap_note =
+        if heap_rewrites > 0 then
+          Printf.sprintf "; rewrote %d corrupt heap page(s)" heap_rewrites
+        else ""
+      in
       let targets =
         match index with
         | Some i -> (
@@ -787,7 +806,12 @@ let execute ?(env = []) ?config db stmt =
           columns = [];
           rows = [];
           summaries = [];
-          message = Some (tname ^ ": nothing to repair");
+          message =
+            Some
+              (if heap_rewrites > 0 then
+                 Printf.sprintf "%s: rewrote %d corrupt heap page(s), indexes clean"
+                   tname heap_rewrites
+               else tname ^ ": nothing to repair");
         }
       else begin
         (* One repair session per index, admitted through the scheduler
@@ -815,8 +839,8 @@ let execute ?(env = []) ?config db stmt =
           summaries = [];
           message =
             Some
-              (Printf.sprintf "repaired %d/%d index(es) on %s" ok (List.length targets)
-                 tname);
+              (Printf.sprintf "repaired %d/%d index(es) on %s%s" ok (List.length targets)
+                 tname heap_note);
         }
       end
 

@@ -45,6 +45,7 @@ type t = {
   mutable injector : Fault.t option;
   names : (int, string) Hashtbl.t;  (* file id -> human label for metrics *)
   mutable metrics : Metrics.t option;
+  manifest : Manifest.t;  (* durable metadata root (survives crashes) *)
 }
 
 (* A handle pins no memory: it remembers the LRU node a lookup found
@@ -96,6 +97,7 @@ let create ?(shards = 1) ~capacity () =
     injector = None;
     names = Hashtbl.create 16;
     metrics = None;
+    manifest = Manifest.create ();
   }
 
 let capacity t = t.cap
@@ -338,3 +340,4 @@ let lookups t =
   Array.fold_left (fun acc sh -> acc + sh.sh_lookups) t.retired_lookups t.shards
 
 let global_meter t = t.global
+let manifest t = t.manifest

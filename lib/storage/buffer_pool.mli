@@ -162,3 +162,9 @@ val flush : t -> unit
 
 val global_meter : t -> Cost.t
 (** Pool-lifetime accumulated charges (all meters combined). *)
+
+val manifest : t -> Manifest.t
+(** The durable metadata manifest rooted at this pool ({!Manifest}).
+    Always present; crash teardown ({!flush} of residency plus
+    volatile-state resets) leaves it intact — it is the record
+    restart recovery reads. *)

@@ -16,7 +16,9 @@
       (a dead disk / unreadable index).  Never retried successfully.
     - {e corruption}: a listed block's stored checksum is scrambled
       once; lazy verification on the next cold read detects the
-      mismatch and fails the access until the page is rewritten.
+      mismatch and fails the access until the page is rewritten —
+      heap pages via [Heap_file.rewrite_corrupt_pages] (the
+      [REPAIR TABLE] exit), index nodes via the online rebuild.
     - {e spill exhaustion}: spill-store writes beyond a budget fail
       ([Spill_full]), modelling temp-space exhaustion. *)
 

@@ -244,6 +244,27 @@ let rec next c =
             Some (Rid.make ~page:c.page_no ~slot, Row.decode bytes)
       end
 
+(* The corrupt-page exit (REPAIR TABLE): probe every page cold and
+   rewrite the ones whose checksum verification fails — restamp the
+   crc from the live slots and charge the page write.  Eviction first
+   guarantees each probe is a genuine miss, so lazy verification
+   actually runs.  Only [Corrupt] faults are healed; transient and
+   persistent faults propagate (a rewrite cannot fix a dead disk). *)
+let rewrite_corrupt_pages t meter =
+  Buffer_pool.evict_file t.pool t.file;
+  let healed = ref 0 in
+  for page_no = 0 to page_count t - 1 do
+    match get_page t meter page_no with
+    | _ -> ()
+    | exception Fault.Injected { Fault.kind = Fault.Corrupt; _ } ->
+        let page = Dynarray.get t.pages page_no in
+        page.crc <- page_crc page;
+        page.crc_valid <- true;
+        Buffer_pool.write t.pool meter (block t page_no);
+        incr healed
+  done;
+  !healed
+
 let iter t meter f =
   let c = scan t meter in
   let rec loop () =

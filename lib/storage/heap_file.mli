@@ -69,5 +69,15 @@ val next : cursor -> (Rid.t * Row.t) option
 
 val iter : t -> Cost.t -> (Rid.t -> Row.t -> unit) -> unit
 
+val rewrite_corrupt_pages : t -> Cost.t -> int
+(** The corrupt-page exit: evict the file (cold probe), read every
+    page, and rewrite each one whose checksum verification fails —
+    the crc is restamped from the live slot contents and the page
+    write charged.  Returns the number of pages rewritten.  This is
+    what [REPAIR TABLE] runs before its index logic, giving corrupt
+    heap blocks the "until the page is rewritten" recovery that
+    {!Fault} documents.  Transient and persistent faults are not
+    healed here and propagate to the caller. *)
+
 val slots_per_page_hint : t -> int
 (** Upper bound on slots used in any page (dense-bitmap sizing). *)

@@ -11,6 +11,7 @@ open Rdb_storage
 module Btree = Rdb_btree.Btree
 module Estimate = Rdb_btree.Estimate
 module R = Rdb_core.Retrieval
+module Executor = Rdb_sql.Executor
 
 let check = Alcotest.(check bool)
 
@@ -238,6 +239,107 @@ let test_dead_heap_aborts_structurally () =
   check "abort traced" true
     (has_event (function Trace.Query_aborted _ -> true | _ -> false) s.R.trace)
 
+(* --- spill exhaustion ----------------------------------------------------- *)
+
+(* Temp-space exhaustion at a deterministic point: the smallest legal
+   RID-list memory budget forces the background lists to spill, and a
+   zero spill-write budget makes the very first spill-block write fail
+   with [Spill_full] (competition checks are pushed out of the way so
+   the scans actually complete and seal their lists).  Spill files
+   back no structure, so the faulted lists are discarded and the
+   retrieval falls back — never an abort: the rows still match the
+   oracle. *)
+let test_spill_exhaustion_falls_back () =
+  let f = fixture () in
+  let open Predicate in
+  let pred = And [ "X" <% Value.int 30; "Y" <% Value.int 500 ] in
+  let expected = sort_rows (oracle f pred) in
+  Buffer_pool.flush f.pool;
+  let inj = Fault.create (Fault.plan ~spill_write_budget:0 ~seed:5 ()) in
+  Buffer_pool.set_injector f.pool (Some inj);
+  let cfg =
+    {
+      R.default_config with
+      R.jscan =
+        {
+          Jscan.default_config with
+          Jscan.memory_budget = 20;
+          check_every = 1_000_000;
+        };
+    }
+  in
+  let rows, s = R.run ~config:cfg f.table (R.request pred) in
+  Buffer_pool.set_injector f.pool None;
+  check "completed" true (s.R.status = R.Completed);
+  check "rows match oracle" true (sort_rows rows = expected);
+  check "spill exhaustion fired" true (Fault.injected_spill inj >= 1);
+  check "degradation traced" true (has_event degradation_event s.R.trace)
+
+(* --- corrupt heap exit ---------------------------------------------------- *)
+
+(* A corrupt heap page aborts queries (no degradation path around the
+   heap), but it is not an absorbing state: REPAIR TABLE rewrites the
+   page — restamping its checksum from the live slots — after which
+   queries complete and the heap is marked healthy again. *)
+let test_corrupt_heap_healed_by_repair () =
+  let db = Database.create ~pool_capacity:256 () in
+  let pool = Database.pool db in
+  let table = Database.create_table db ~page_bytes:1024 ~name:"T" schema in
+  let rng = Rdb_util.Prng.create ~seed:11 in
+  for i = 0 to 1999 do
+    ignore
+      (Table.insert table
+         [|
+           Value.int i;
+           Value.int (Rdb_util.Prng.int rng 100);
+           Value.int (Rdb_util.Prng.int rng 1000);
+           Value.str (Printf.sprintf "s%05d" i);
+         |])
+  done;
+  ignore (Table.create_index table ~name:"X_IDX" ~columns:[ "X" ] ());
+  let open Predicate in
+  let pred = "X" <% Value.int 15 in
+  let expected =
+    let m = Cost.create () in
+    let out = ref [] in
+    Heap_file.iter (Table.heap table) m (fun _ row ->
+        if Predicate.eval pred schema row then out := row :: !out);
+    sort_rows !out
+  in
+  let heap = Heap_file.file_id (Table.heap table) in
+  let inj = Fault.create (Fault.plan ~corrupt_blocks:[ (heap, 0) ] ~seed:6 ()) in
+  Buffer_pool.set_injector pool (Some inj);
+  (* first cold pass stamps the lazily-established checksums; the
+     second verifies them and hits the planned scramble *)
+  Buffer_pool.flush pool;
+  ignore (R.run table (R.request pred));
+  Buffer_pool.flush pool;
+  let rows, s = R.run table (R.request pred) in
+  check "corrupt heap aborts" true
+    (match s.R.status with R.Aborted _ -> true | _ -> false);
+  check "no rows from aborted query" true (rows = []);
+  check "corruption detected" true (Fault.injected_corrupt inj >= 1);
+  (* the exit: REPAIR TABLE rewrites the page, with the injector still
+     live — the scramble fires once, the rewrite heals it for good *)
+  let r = Executor.execute_sql db "REPAIR TABLE T" in
+  (match r.Executor.message with
+  | Some m ->
+      check "repair reports the rewrite" true
+        (String.length m >= 7
+        && (let rec has i =
+              i + 7 <= String.length m
+              && (String.sub m i 7 = "rewrote" || has (i + 1))
+            in
+            has 0))
+  | None -> Alcotest.fail "REPAIR TABLE returned no message");
+  Buffer_pool.flush pool;
+  let rows, s = R.run table (R.request pred) in
+  Buffer_pool.set_injector pool None;
+  check "completed after repair" true (s.R.status = R.Completed);
+  check "rows match oracle after repair" true (sort_rows rows = expected);
+  check "heap healthy again" true
+    (Health.state (Table.health table) Table.heap_structure = Health.Healthy)
+
 (* --- cost-quota governor -------------------------------------------------- *)
 
 let test_quota_cancels_at_quantum_boundary () =
@@ -322,6 +424,10 @@ let () =
             test_corrupt_leaf_detected_and_survived;
           Alcotest.test_case "dead heap aborts structurally" `Quick
             test_dead_heap_aborts_structurally;
+          Alcotest.test_case "spill exhaustion falls back" `Quick
+            test_spill_exhaustion_falls_back;
+          Alcotest.test_case "corrupt heap healed by REPAIR TABLE" `Quick
+            test_corrupt_heap_healed_by_repair;
           Alcotest.test_case "quota cancels at quantum boundary" `Quick
             test_quota_cancels_at_quantum_boundary;
         ] );

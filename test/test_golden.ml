@@ -13,6 +13,7 @@ open Rdb_engine
 open Rdb_storage
 module R = Rdb_core.Retrieval
 module S = Rdb_core.Session
+module Recovery = Rdb_core.Recovery
 module Goal = Rdb_core.Goal
 module Btree = Rdb_btree.Btree
 module Executor = Rdb_sql.Executor
@@ -392,6 +393,69 @@ let storm_report_output () =
        (R.request ("PRICE" >=% Value.int 0)));
   S.report_to_string (S.run sched)
 
+(* --- crash report (crash–restart survival, DESIGN.md §15) ------------ *)
+
+let storm_spec_to_sub table (sp : Traffic.spec) =
+  Recovery.query ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+    (R.request ~env:sp.Traffic.env ~order_by:sp.Traffic.order_by
+       ?explicit_goal:
+         (if sp.Traffic.fast_first then Some Goal.Fast_first else None)
+       sp.Traffic.pred)
+
+(* A query mix interrupted by two crashes: epochs 0 and 1 each die at a
+   grant boundary, epoch 2 finishes clean.  The report shows each
+   epoch's scheduler ledger with its "+ N lost" term, the recovery
+   summary, the per-submission journal, and the exact cross-epoch
+   accounting. *)
+let crash_report_output () =
+  let db = Datasets.fresh_db ~pool_capacity:64 () in
+  let table = Datasets.orders ~rows:4000 db in
+  Buffer_pool.flush (Database.pool db);
+  let subs =
+    List.map (storm_spec_to_sub table) (Traffic.orders_mix ~seed:5 ~count:6 ())
+  in
+  let rep =
+    Recovery.run
+      ~config:{ S.default_config with S.max_inflight = 2; S.quantum = 2.0 }
+      ~crashes:[ [ S.Crash_at_grant 5 ]; [ S.Crash_at_grant 9 ] ]
+      db subs
+  in
+  Recovery.report_to_string rep
+
+(* --- recovery trace (crash mid-rebuild) ------------------------------ *)
+
+(* The crash lands two grants into an online rebuild (the queries
+   arrive late so the repair is admitted first): restart recovery
+   discards the orphan side tree, restores the quarantine from the
+   manifest verdict, resubmits the rebuild, and reissues the lost
+   queries. *)
+let recovery_trace_output () =
+  let db = Datasets.fresh_db ~pool_capacity:64 () in
+  let table = Datasets.orders ~rows:4000 db in
+  Buffer_pool.flush (Database.pool db);
+  let late =
+    List.map
+      (fun (sp : Traffic.spec) ->
+        Recovery.query ~label:sp.Traffic.label ?limit:sp.Traffic.limit
+          ~arrive_at:50 table
+          (R.request ~env:sp.Traffic.env ~order_by:sp.Traffic.order_by
+             ?explicit_goal:
+               (if sp.Traffic.fast_first then Some Goal.Fast_first else None)
+             sp.Traffic.pred))
+      (Traffic.orders_mix ~seed:7 ~count:3 ())
+  in
+  let rep =
+    Recovery.run
+      ~config:{ S.default_config with S.max_inflight = 2; S.quantum = 2.0 }
+      ~crashes:[ [ S.Crash_at_grant 2 ] ]
+      ~repairs:[ (table, "CUST_IDX") ]
+      db late
+  in
+  String.concat ""
+    (List.map
+       (fun e -> Rdb_exec.Trace.event_to_string e ^ "\n")
+       rep.Recovery.r_trace)
+
 let () =
   Alcotest.run "rdb_golden"
     [
@@ -411,5 +475,9 @@ let () =
               check_golden "repair_trace" (repair_trace_output ()));
           Alcotest.test_case "feedback trace" `Quick (fun () ->
               check_golden "feedback_trace" (feedback_trace_output ()));
+          Alcotest.test_case "crash report" `Quick (fun () ->
+              check_golden "crash_report" (crash_report_output ()));
+          Alcotest.test_case "recovery trace" `Quick (fun () ->
+              check_golden "recovery_trace" (recovery_trace_output ()));
         ] );
     ]

@@ -192,10 +192,17 @@ let run_case ?(faulty = false) (seed, rows, knobs) =
   let injector =
     if faulty then begin
       let rate = 0.02 +. Prng.float rng 0.25 in
+      (* sometimes also exhaust the spill store: a tight write budget
+         turns spilled RID lists into [Spill_full] faults, whose
+         fallback path must agree with the oracle too *)
+      let spill_write_budget =
+        if Prng.bool rng then Some (Prng.int rng 8) else None
+      in
       let inj =
         Rdb_storage.Fault.create
           (Rdb_storage.Fault.plan ~transient_read_rate:rate
-             ~transient_classes:[ Rdb_storage.Fault.Index ] ~seed:(seed + 1) ())
+             ~transient_classes:[ Rdb_storage.Fault.Index ] ?spill_write_budget
+             ~seed:(seed + 1) ())
       in
       (* transient faults fire on physical reads only: flush so the
          retrievals start cold instead of fault-immune in cache *)

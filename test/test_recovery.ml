@@ -1,0 +1,203 @@
+(* Crash–restart recovery (Recovery, DESIGN.md §15): the epoch
+   supervisor reissues lost submissions and serves exactly the rows a
+   never-crashed run serves; a crash mid-rebuild leaves a detectable
+   orphan that restart recovery discards and resubmits; and recovery
+   itself is idempotent — running it twice reaches the same manifest,
+   the same health registry, and the same actions. *)
+
+open Rdb_engine
+module R = Rdb_core.Retrieval
+module S = Rdb_core.Session
+module Recovery = Rdb_core.Recovery
+module Goal = Rdb_core.Goal
+module Trace = Rdb_exec.Trace
+module Datasets = Rdb_workload.Datasets
+module Traffic = Rdb_workload.Traffic
+module Buffer_pool = Rdb_storage.Buffer_pool
+module Manifest = Rdb_storage.Manifest
+
+let check = Alcotest.(check bool)
+
+let request_of (sp : Traffic.spec) =
+  R.request ~env:sp.Traffic.env ~order_by:sp.Traffic.order_by
+    ?explicit_goal:(if sp.Traffic.fast_first then Some Goal.Fast_first else None)
+    sp.Traffic.pred
+
+(* Two structurally identical databases: generators are deterministic
+   from the seed, so the calm and the crashed run see the same data. *)
+let build () =
+  let db = Datasets.fresh_db ~pool_capacity:64 () in
+  let table = Datasets.orders ~rows:4000 db in
+  (db, table)
+
+let subs table specs =
+  List.map
+    (fun (sp : Traffic.spec) ->
+      Recovery.query ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+        (request_of sp))
+    specs
+
+let cfg = { S.default_config with S.max_inflight = 2; S.quantum = 2.0 }
+let row_list rows = List.map Rdb_data.Row.to_string rows
+
+(* --- reissued rows are byte-identical to a never-crashed run ---------- *)
+
+let test_reissue_identity () =
+  let specs = Traffic.orders_mix ~seed:5 ~count:6 () in
+  let db_calm, table_calm = build () in
+  let calm = Recovery.run ~config:cfg db_calm (subs table_calm specs) in
+  let db_crash, table_crash = build () in
+  let crashed =
+    Recovery.run ~config:cfg
+      ~crashes:[ [ S.Crash_at_grant 5 ]; [ S.Crash_at_grant 9 ] ]
+      db_crash
+      (subs table_crash specs)
+  in
+  check "calm run is one epoch with no recovery" true
+    (List.length calm.Recovery.r_epochs = 1
+    && (List.hd calm.Recovery.r_epochs).Recovery.ep_actions = None
+    && calm.Recovery.r_crashes = 0
+    && calm.Recovery.r_reissues = 0);
+  check "crashed run crashed and reissued" true
+    (crashed.Recovery.r_crashes >= 1 && crashed.Recovery.r_reissues >= 1);
+  check "everything resolved" true
+    (crashed.Recovery.r_unresolved = 0
+    && crashed.Recovery.r_served + crashed.Recovery.r_shed
+       + crashed.Recovery.r_timed_out
+       = crashed.Recovery.r_submitted);
+  List.iter2
+    (fun (a : Recovery.final) (b : Recovery.final) ->
+      check (Printf.sprintf "outcome identical for %s" a.Recovery.f_label) true
+        (a.Recovery.f_label = b.Recovery.f_label
+        && a.Recovery.f_outcome = b.Recovery.f_outcome);
+      check (Printf.sprintf "rows byte-identical for %s" a.Recovery.f_label) true
+        (row_list a.Recovery.f_rows = row_list b.Recovery.f_rows))
+    calm.Recovery.r_finals crashed.Recovery.r_finals
+
+(* --- zero-crash supervisor is byte-identical to the scheduler --------- *)
+
+let test_zero_crash_identity () =
+  let specs = Traffic.orders_mix ~seed:13 ~count:6 () in
+  let db, table = build () in
+  Buffer_pool.flush (Database.pool db);
+  let sup = Recovery.run ~config:cfg db (subs table specs) in
+  let db2, table2 = build () in
+  Buffer_pool.flush (Database.pool db2);
+  let sched = S.create ~config:cfg db2 in
+  List.iter
+    (fun (sp : Traffic.spec) ->
+      ignore
+        (S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit table2
+           (request_of sp)))
+    specs;
+  let direct = S.run sched in
+  check "single epoch report byte-identical to direct scheduler" true
+    (S.report_to_string (List.hd sup.Recovery.r_epochs).Recovery.ep_report
+    = S.report_to_string direct)
+
+(* --- crash mid-rebuild: orphan discarded, rebuild resubmitted --------- *)
+
+let test_crash_mid_repair () =
+  let db, table = build () in
+  let manifest = Buffer_pool.manifest (Database.pool db) in
+  Buffer_pool.flush (Database.pool db);
+  (* queries arrive late so the repair is admitted (and its side tree
+     begun) before the crash at grant 2 hits it mid-rebuild *)
+  let late =
+    List.map
+      (fun (sp : Traffic.spec) ->
+        Recovery.query ~label:sp.Traffic.label ?limit:sp.Traffic.limit
+          ~arrive_at:50 table (request_of sp))
+      (Traffic.orders_mix ~seed:7 ~count:3 ())
+  in
+  let rep =
+    Recovery.run ~config:cfg
+      ~crashes:[ [ S.Crash_at_grant 2 ] ]
+      ~repairs:[ (table, "CUST_IDX") ]
+      db late
+  in
+  check "crashed once then finished clean" true
+    (rep.Recovery.r_crashes = 1
+    && List.length rep.Recovery.r_epochs >= 2
+    && rep.Recovery.r_unresolved = 0);
+  let actions =
+    match (List.hd rep.Recovery.r_epochs).Recovery.ep_actions with
+    | Some a -> a
+    | None -> Alcotest.fail "first epoch should have crashed"
+  in
+  check "orphan side tree discarded" true
+    (List.exists
+       (fun (t, i, _) -> t = "ORDERS" && i = "CUST_IDX")
+       actions.Recovery.act_orphans);
+  check "rebuild resubmitted" true
+    (List.mem ("ORDERS", "CUST_IDX") actions.Recovery.act_rebuilds);
+  check "recovery events traced" true
+    (List.exists
+       (function Trace.Orphan_discarded _ -> true | _ -> false)
+       rep.Recovery.r_trace
+    && List.exists
+         (function Trace.Rebuild_resubmitted _ -> true | _ -> false)
+         rep.Recovery.r_trace);
+  check "no orphans left in the manifest" true (Manifest.orphans manifest = []);
+  check "index healthy after the resubmitted rebuild" true
+    (Health.state (Table.health table) "CUST_IDX" = Health.Healthy);
+  check "no quarantine verdicts left" true (Manifest.quarantines manifest = [])
+
+(* --- recovery is idempotent (S3) -------------------------------------- *)
+
+let recover_state db =
+  let manifest = Buffer_pool.manifest (Database.pool db) in
+  let health_of table =
+    List.map
+      (fun (idx : Table.index) ->
+        ( idx.Table.idx_name,
+          Health.state_to_string
+            (Health.state (Table.health table) idx.Table.idx_name) ))
+      (Table.indexes table)
+  in
+  (Manifest.to_string manifest, List.concat_map health_of (Database.tables db))
+
+let prop_recover_twice_noop =
+  QCheck.Test.make ~name:"recovering twice is a no-op" ~count:8
+    QCheck.(pair (int_bound 100_000) (int_range 1 30))
+    (fun (seed, g) ->
+      let g = max 1 (min 30 g) in
+      let db, table = build () in
+      Buffer_pool.flush (Database.pool db);
+      let sched =
+        S.create ~config:{ cfg with S.crash_points = [ S.Crash_at_grant g ] } db
+      in
+      List.iter
+        (fun (sp : Traffic.spec) ->
+          ignore
+            (S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+               (request_of sp)))
+        (Traffic.orders_mix ~seed ~count:4 ());
+      ignore (S.submit_repair sched ~label:"repair:CUST_IDX" table ~index:"CUST_IDX");
+      let rep = S.run sched in
+      let crashed = rep.S.pool.S.p_crash_tick <> None in
+      if crashed then Recovery.crash_teardown db;
+      let a1 = Recovery.recover db in
+      let state1 = recover_state db in
+      let a2 = Recovery.recover db in
+      let state2 = recover_state db in
+      state1 = state2
+      && a2.Recovery.act_orphans = []
+      && a2.Recovery.act_requarantined = a1.Recovery.act_requarantined
+      && a2.Recovery.act_rebuilds = a1.Recovery.act_rebuilds
+      && ((not crashed) || a1.Recovery.act_orphans <> [] || a1.Recovery.act_requarantined = []))
+
+let () =
+  Alcotest.run "rdb_recovery"
+    [
+      ( "recovery",
+        [
+          Alcotest.test_case "reissued rows identical to never-crashed run" `Quick
+            test_reissue_identity;
+          Alcotest.test_case "zero-crash supervisor equals direct scheduler" `Quick
+            test_zero_crash_identity;
+          Alcotest.test_case "crash mid-rebuild: orphan discarded and resubmitted"
+            `Quick test_crash_mid_repair;
+          QCheck_alcotest.to_alcotest prop_recover_twice_noop;
+        ] );
+    ]

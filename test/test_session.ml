@@ -445,6 +445,146 @@ let test_bgr_invariance () =
         (Traffic.orders_mix ~seed ~count:6 ()))
     [ 2; 13; 47 ]
 
+(* --- crash injection ------------------------------------------------- *)
+
+(* A crash point that never fires must reproduce the crash-free
+   scheduler bit-for-bit: the crash machinery is pure bookkeeping
+   until a point actually triggers. *)
+let test_crash_never_fires_identity () =
+  let db, table = Lazy.force fixture in
+  let specs = Traffic.orders_mix ~seed:17 ~count:6 () in
+  let run points =
+    Rdb_storage.Buffer_pool.flush (Database.pool db);
+    let cfg =
+      {
+        S.default_config with
+        S.max_inflight = 2;
+        quantum = 30.0;
+        record_events = true;
+        crash_points = points;
+      }
+    in
+    let sched = S.create ~config:cfg db in
+    let ids =
+      List.map
+        (fun sp ->
+          S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+            (request_of sp))
+        specs
+    in
+    let report = S.run sched in
+    (S.report_to_string report, List.map (fun id -> row_list (S.rows_of sched id)) ids)
+  in
+  let rep_none, rows_none = run [] in
+  let rep_far, rows_far = run [ S.Crash_at_grant max_int ] in
+  check "report byte-identical" true (rep_none = rep_far);
+  check "rows identical" true (rows_none = rows_far);
+  check "no crash line" true
+    (not
+       (let m = rep_none in
+        let rec has i =
+          i + 6 <= String.length m && (String.sub m i 6 = "crash:" || has (i + 1))
+        in
+        has 0))
+
+(* A mid-run crash loses every non-terminal submission — rows, cursors
+   and progress vanish; terminal outcomes stand — and the report keeps
+   exact accounting with the [lost] term. *)
+let test_crash_loses_nonterminal () =
+  let db, table = Lazy.force fixture in
+  let specs = Traffic.orders_mix ~seed:23 ~count:8 () in
+  Rdb_storage.Buffer_pool.flush (Database.pool db);
+  let cfg =
+    {
+      S.default_config with
+      S.max_inflight = 2;
+      quantum = 2.0;
+      record_events = true;
+      S.crash_points = [ S.Crash_at_grant 12 ];
+    }
+  in
+  let sched = S.create ~config:cfg db in
+  let ids =
+    List.map
+      (fun sp ->
+        S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+          (request_of sp))
+      specs
+  in
+  let report = S.run sched in
+  let p = report.S.pool in
+  check "crash tick recorded" true (p.S.p_crash_tick = Some 12);
+  check "some submissions lost" true (p.S.p_lost > 0);
+  check "accounting exact with lost" true
+    (p.S.p_served + p.S.p_shed + p.S.p_timed_out + p.S.p_lost = p.S.p_submitted);
+  check "crash event emitted" true
+    (List.exists (function S.Crashed _ -> true | _ -> false) report.S.events);
+  check "lost sessions keep no rows" true
+    (List.for_all
+       (fun id ->
+         let s = List.find (fun s -> s.S.s_id = id) report.S.sessions in
+         match s.S.s_outcome with
+         | S.Lost _ -> S.rows_of sched id = [] && s.S.s_summary = None
+         | _ -> true)
+       ids);
+  check "crash line rendered" true
+    (let m = S.report_to_string report in
+     let needle = "crash: process died at grant 12" in
+     let n = String.length needle in
+     let rec has i = i + n <= String.length m && (String.sub m i n = needle || has (i + 1)) in
+     has 0)
+
+(* [Crash_at_cost] fires at the first grant boundary at which the
+   run's charged cost reaches the threshold. *)
+let test_crash_at_cost () =
+  let db, table = Lazy.force fixture in
+  let specs = Traffic.orders_mix ~seed:29 ~count:6 () in
+  Rdb_storage.Buffer_pool.flush (Database.pool db);
+  let cfg =
+    { S.default_config with S.quantum = 2.0; S.crash_points = [ S.Crash_at_cost 20.0 ] }
+  in
+  let sched = S.create ~config:cfg db in
+  List.iter
+    (fun sp ->
+      ignore
+        (S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+           (request_of sp)))
+    specs;
+  let report = S.run sched in
+  let p = report.S.pool in
+  check "cost crash fired" true (p.S.p_crash_tick <> None);
+  check "accounting exact" true
+    (p.S.p_served + p.S.p_shed + p.S.p_timed_out + p.S.p_lost = p.S.p_submitted)
+
+let prop_crash_accounting =
+  QCheck.Test.make ~name:"accounting exact under random crash grants" ~count:10
+    QCheck.(pair (int_bound 100_000) (int_range 1 60))
+    (fun (seed, g) ->
+      let g = max 1 (min 60 g) in
+      let db, table = Lazy.force fixture in
+      Rdb_storage.Buffer_pool.flush (Database.pool db);
+      let cfg =
+        {
+          S.default_config with
+          S.max_inflight = 3;
+          quantum = 2.0;
+          S.crash_points = [ S.Crash_at_grant g ];
+        }
+      in
+      let sched = S.create ~config:cfg db in
+      List.iter
+        (fun sp ->
+          ignore
+            (S.submit sched ~label:sp.Traffic.label ?limit:sp.Traffic.limit table
+               (request_of sp)))
+        (Traffic.orders_mix ~seed ~count:6 ());
+      let rep = S.run sched in
+      let p = rep.S.pool in
+      p.S.p_served + p.S.p_shed + p.S.p_timed_out + p.S.p_lost = p.S.p_submitted
+      && (match p.S.p_crash_tick with
+         | Some t -> t >= g
+         | None -> p.S.p_lost = 0))
+
 let () =
   Alcotest.run "rdb_session"
     [
@@ -473,5 +613,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_shard_count_invariance;
           Alcotest.test_case "pool_shards = Some 1 is byte-identical to None"
             `Quick test_single_shard_identity;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "never-firing crash point is byte-identical" `Quick
+            test_crash_never_fires_identity;
+          Alcotest.test_case "crash loses non-terminal submissions" `Quick
+            test_crash_loses_nonterminal;
+          Alcotest.test_case "crash at cost threshold" `Quick test_crash_at_cost;
+          QCheck_alcotest.to_alcotest prop_crash_accounting;
         ] );
     ]
