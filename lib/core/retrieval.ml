@@ -406,6 +406,14 @@ let bgr_cost c = Cost.total c.bgr_meter
 
 let prefer_fgr c = fgr_cost c <= bgr_cost c *. c.cfg.speed_ratio
 
+(* A background competitor faulted this quantum: park its quarantine
+   action for the fault policy (which decides retry vs quarantine) and
+   surface the failure.  One helper for every background arm —
+   bg-only, fast-first, sorted, index-only, and the union scan. *)
+let bg_failed c quarantine f =
+  c.pending_bg <- Some quarantine;
+  Scan.Failed f
+
 (* One quantum of work; Scan.step result. *)
 let rec step_machine c =
   match c.machine with
@@ -419,9 +427,7 @@ let rec step_machine c =
       | None -> (
           match Jscan.step bg.bg_jscan with
           | `Working -> Scan.Continue
-          | `Faulted f ->
-              c.pending_bg <- Some (Jscan.quarantine bg.bg_jscan);
-              Scan.Failed f
+          | `Faulted f -> bg_failed c (Jscan.quarantine bg.bg_jscan) f
           | `Finished outcome ->
               bg.bg_stage2 <- Some (make_stage2 c outcome ~delivered:(Hashtbl.create 0));
               Scan.Continue))
@@ -431,9 +437,7 @@ let rec step_machine c =
       | None -> (
           match Uscan.step un.un_scan with
           | `Working -> Scan.Continue
-          | `Faulted f ->
-              c.pending_bg <- Some (Uscan.abandon un.un_scan);
-              Scan.Failed f
+          | `Faulted f -> bg_failed c (Uscan.abandon un.un_scan) f
           | `Finished outcome ->
               let as_jscan =
                 match outcome with
@@ -454,9 +458,7 @@ and step_fast_first c ff =
          source); the foreground additionally works when its spent cost
          lags the background's. *)
       match Jscan.step ff.ff_jscan with
-      | `Faulted f ->
-          c.pending_bg <- Some (Jscan.quarantine ff.ff_jscan);
-          Scan.Failed f
+      | `Faulted f -> bg_failed c (Jscan.quarantine ff.ff_jscan) f
       | `Finished outcome ->
           if ff.ff_active then
             Trace.emit c.trace (Trace.Foreground_stopped { reason = "background completed" });
@@ -514,9 +516,7 @@ and step_sorted c so =
      background advances while its cost lags. *)
   if so.so_bgr_active && not (prefer_fgr c) then begin
     match Jscan.step so.so_jscan with
-    | `Faulted f ->
-        c.pending_bg <- Some (Jscan.quarantine so.so_jscan);
-        Scan.Failed f
+    | `Faulted f -> bg_failed c (Jscan.quarantine so.so_jscan) f
     | `Working -> Scan.Continue
     | `Finished (Jscan.Rid_list rids) ->
         so.so_bgr_active <- false;
@@ -543,9 +543,7 @@ and step_index_only c io =
   | None ->
       if io.io_bgr_active && not (prefer_fgr c) then begin
         match Jscan.step io.io_jscan with
-        | `Faulted f ->
-            c.pending_bg <- Some (Jscan.quarantine io.io_jscan);
-            Scan.Failed f
+        | `Faulted f -> bg_failed c (Jscan.quarantine io.io_jscan) f
         | `Working -> Scan.Continue
         | `Finished (Jscan.Recommend_tscan _) ->
             io.io_bgr_active <- false;
