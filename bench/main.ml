@@ -34,6 +34,7 @@ let experiments : (string * string * (unit -> unit)) list =
     (Exp_crash.name, Exp_crash.description, Exp_crash.run);
     (Exp_batch.name, Exp_batch.description, Exp_batch.run);
     (Exp_feedback.name, Exp_feedback.description, Exp_feedback.run);
+    (Exp_hybrid.name, Exp_hybrid.description, Exp_hybrid.run);
     (Exp_micro.name, Exp_micro.description, Exp_micro.run);
   ]
 

@@ -18,9 +18,10 @@ type t = {
   mutable pending : (Rid.t * Row.t) option;
       (* a row read from the heap whose insert faulted: replayed first *)
   mutable entries : int;
-  mutable driver : Driver.t option;
-      (* shared cursor driver (installed lazily; it closes over [t]);
-         owns the consecutive-fault count *)
+  mutable pump : Scan.cursor option;
+      (* the copy loop under its fault ladder (Tactic.with_policy over
+         the shared driver; installed lazily — it closes over [t]); the
+         embedded driver owns the consecutive-fault count *)
   mutable result : bool option;
 }
 
@@ -74,7 +75,7 @@ let create ?(batch = default_batch) ?(retry_limit = default_retry_limit) table ~
       trace = Trace.create ();
       pending = None;
       entries = 0;
-      driver = None;
+      pump = None;
       result = None;
     }
   in
@@ -139,52 +140,53 @@ let copy_step t =
   | `Copied_all -> Scan.Done
   | exception Fault.Injected f -> Scan.Failed f
 
-(* The repair policy for the shared driver: same bounded retry with
-   deterministic backoff as retrieval, but no fallback — when the
-   ground truth itself is unreadable (or persistently flaky) the
-   rebuild gives up and the index goes back to quarantine with an
-   escalated backoff. *)
+(* The repair ladder (DESIGN.md §17): the same bounded retry with
+   deterministic backoff as retrieval, then give up — when the ground
+   truth itself is unreadable (or persistently flaky) the rebuild
+   stops and the index goes back to quarantine with an escalated
+   backoff. *)
 let fault_policy t =
-  {
-    Driver.on_fault =
-      (fun f ~consec ->
+  Tactic.Policy.(
+    seal
+      ~observe:(fun f ~consec:_ ->
         Trace.emit t.trace
-          (Trace.Fault_detected { site = "repair"; fault = Fault.describe f });
-        if Fault.is_transient f && consec <= t.retry_limit then begin
-          (* The i-th consecutive retry charges i physical reads. *)
-          for _ = 1 to consec do
-            Cost.charge_physical t.meter
-          done;
-          Trace.emit t.trace
-            (Trace.Fault_retry { site = "repair"; attempt = consec; penalty = consec });
-          Driver.Retry
-        end
-        else Driver.Stop);
-  }
+          (Trace.Fault_detected { site = "repair"; fault = Fault.describe f }))
+      (stack
+         [
+           bounded_retry ~limit:t.retry_limit ~penalize:(fun _ ~consec ->
+               (* The i-th consecutive retry charges i physical reads. *)
+               for _ = 1 to consec do
+                 Cost.charge_physical t.meter
+               done;
+               Trace.emit t.trace
+                 (Trace.Fault_retry
+                    { site = "repair"; attempt = consec; penalty = consec }));
+           give_up ~name:"give-up";
+         ]))
 
-let driver_of t =
-  match t.driver with
-  | Some d -> d
+let pump_of t =
+  match t.pump with
+  | Some c -> c
   | None ->
-      let cursor =
-        Scan.cursor_of_step
-          ~cost:(fun () -> Cost.total t.meter)
-          ~max_steps:t.batch
-          (fun () -> copy_step t)
+      let c =
+        Tactic.with_policy (fault_policy t)
+          (Scan.cursor_of_step
+             ~cost:(fun () -> Cost.total t.meter)
+             ~max_steps:t.batch
+             (fun () -> copy_step t))
       in
-      let d = Driver.make cursor (fault_policy t) in
-      t.driver <- Some d;
-      d
+      t.pump <- Some c;
+      c
 
 (* One scheduler quantum: one driver batch of up to [batch] copies. *)
 let step t =
   match t.result with
   | Some ok -> `Done ok
   | None -> (
-      match Driver.pump (driver_of t) ~budget:infinity ~on_rows:(fun _ -> ()) with
-      | Driver.More -> `Working
-      | Driver.Exhausted -> finish t true
-      | Driver.Stopped _ -> finish t false)
+      match ((pump_of t).Scan.next_batch ~budget:infinity).Scan.status with
+      | Scan.More -> `Working
+      | Scan.Exhausted -> finish t true
+      | Scan.Faulted _ -> finish t false)
 
 let run t =
   let rec loop () = match step t with `Working -> loop () | `Done ok -> ok in

@@ -114,6 +114,7 @@ type summary = {
   tactic : tactic_kind;
   goal : Goal.t;
   goal_provenance : string;
+  policy : string;  (** the composed fault-policy ladder (DESIGN.md §17) *)
   status : status;
   trace : Trace.event list;
 }
@@ -171,6 +172,9 @@ type cursor = {
   goal_provenance : string;
   restriction : Predicate.t;  (** bound *)
   mutable machine : machine;  (** mutable: fault fallback swaps in a Tscan *)
+  mutable tac : Tactic.t;
+      (** the machine's behavior as a composed tactic (DESIGN.md §17);
+          rebuilt whenever [machine] is swapped *)
   fgr_meter : Cost.t;
   bgr_meter : Cost.t;
   est_meter : Cost.t;
@@ -414,182 +418,220 @@ let bg_failed c quarantine f =
   c.pending_bg <- Some quarantine;
   Scan.Failed f
 
-(* One quantum of work; Scan.step result. *)
-let rec step_machine c =
-  match c.machine with
-  | M_empty -> Scan.Done
-  | M_tscan t -> Tscan.step t
-  | M_sscan s -> Sscan.step s
-  | M_fscan f -> Fscan.step f
-  | M_bg_only bg -> (
-      match bg.bg_stage2 with
-      | Some s2 -> step_stage2 c.table c.restriction (Hashtbl.create 0) s2
-      | None -> (
+(* Successor thunk for [Tactic.then_]: build the final stage from the
+   settled background outcome (the [Final_stage] trace event fires
+   here, in the switch quantum, exactly as the bespoke machines
+   emitted it) and step it from then on.  [store] parks the stage on
+   the machine record so the batch-boundary cache drop can reach it. *)
+let stage2_successor c ~delivered ~store outcome =
+  let s2 = make_stage2 c outcome ~delivered in
+  store s2;
+  fun () -> step_stage2 c.table c.restriction delivered s2
+
+(* One quantum of the fast-first foreground phase.  The background
+   Jscan is always advanced first (it is also the RID source); the
+   foreground additionally borrows a RID when its spent cost lags the
+   background's.  The bg-step + borrow pairing stays one arm on
+   purpose: §7's fast-first couples the two inside a single quantum,
+   which a per-quantum [Tactic.race] cannot express — the one
+   deliberate exception noted in DESIGN.md §17. *)
+let fast_first_phase1 c ff =
+  match Jscan.step ff.ff_jscan with
+  | `Faulted f -> bg_failed c (Jscan.quarantine ff.ff_jscan) f
+  | `Finished _ ->
+      if ff.ff_active then
+        Trace.emit c.trace (Trace.Foreground_stopped { reason = "background completed" });
+      ff.ff_active <- false;
+      Scan.Done
+  | `Working ->
+      if ff.ff_active && prefer_fgr c then begin
+        match Jscan.borrow ff.ff_jscan with
+        | None -> Scan.Continue
+        | Some rid ->
+            if Hashtbl.mem ff.ff_delivered rid then Scan.Continue
+            else begin
+              (* A faulted borrowed fetch is reported as a
+                 *foreground* heap fault; the borrowed RID is not
+                 replayed, which is safe — any true result row it
+                 names is still owed by the final stage (or the
+                 Tscan fallback), which excludes only delivered
+                 rows. *)
+              match Heap_file.fetch (Table.heap c.table) c.fgr_meter rid with
+              | exception Fault.Injected f -> Scan.Failed f
+              | None -> Scan.Continue
+              | Some row ->
+                  if Predicate.eval c.restriction (Table.schema c.table) row then begin
+                    Hashtbl.replace ff.ff_delivered rid ();
+                    if Hashtbl.length ff.ff_delivered >= c.cfg.fgr_buffer_cap then begin
+                      ff.ff_active <- false;
+                      Trace.emit c.trace
+                        (Trace.Foreground_stopped { reason = "foreground buffer overflow" })
+                    end;
+                    Scan.Deliver (rid, row)
+                  end
+                  else begin
+                    ff.ff_wasted <- ff.ff_wasted + 1;
+                    let wasted_cost =
+                      float_of_int ff.ff_wasted *. Cost.default_weights.Cost.physical_read
+                    in
+                    if
+                      wasted_cost
+                      > c.cfg.fgr_waste_cap *. Jscan.guaranteed_best ff.ff_jscan
+                    then begin
+                      ff.ff_active <- false;
+                      Trace.emit c.trace
+                        (Trace.Foreground_stopped
+                           { reason = "wasted fetches exceed competition cap" })
+                    end;
+                    Scan.Continue
+                  end
+            end
+      end
+      else Scan.Continue
+
+(* Sorted tactic arms: the foreground Fscan is the only deliverer; the
+   background Jscan builds a filter while its cost lags. *)
+let sorted_bg c so =
+  match Jscan.step so.so_jscan with
+  | `Faulted f -> bg_failed c (Jscan.quarantine so.so_jscan) f
+  | `Working -> Scan.Continue
+  | `Finished (Jscan.Rid_list rids) ->
+      so.so_bgr_active <- false;
+      Fscan.set_filter so.so_fscan (Filter.of_sorted_array rids);
+      Scan.Continue
+  | `Finished (Jscan.Recommend_tscan _) ->
+      so.so_bgr_active <- false;
+      Scan.Continue
+
+let sorted_fg c so =
+  match Fscan.step so.so_fscan with
+  | Scan.Done ->
+      if so.so_bgr_active then begin
+        so.so_bgr_active <- false;
+        Trace.emit c.trace (Trace.Background_stopped { reason = "foreground finished first" })
+      end;
+      Scan.Done
+  | s -> s
+
+(* Index-only arms: the self-sufficient Sscan delivers; the Jscan
+   competes for a sure list that preempts it. *)
+let index_only_bg c io =
+  match Jscan.step io.io_jscan with
+  | `Faulted f -> bg_failed c (Jscan.quarantine io.io_jscan) f
+  | `Working -> Scan.Continue
+  | `Finished (Jscan.Recommend_tscan _) ->
+      io.io_bgr_active <- false;
+      Trace.emit c.trace
+        (Trace.Background_stopped { reason = "Jscan found no competitive list" });
+      Scan.Continue
+  | `Finished (Jscan.Rid_list rids) ->
+      io.io_bgr_active <- false;
+      (* Is the "sure" RID-list retrieval cheaper than finishing
+         the Sscan? *)
+      let remaining =
+        Float.max 0.0 (io.io_cand.Scan.est -. float_of_int (Sscan.delivered io.io_sscan))
+      in
+      let sscan_rest = Cost_model.index_scan_cost io.io_cand.Scan.idx ~entries:remaining in
+      let list_cost = Cost_model.rid_fetch_cost c.table ~k:(Array.length rids) in
+      if list_cost < sscan_rest then begin
+        Trace.emit c.trace
+          (Trace.Foreground_stopped
+             { reason = "Jscan delivered a small sure list; Sscan abandoned" });
+        Trace.emit c.trace
+          (Trace.Final_stage
+             { rids = Array.length rids; filtered_delivered = Hashtbl.length io.io_delivered });
+        io.io_stage2 <-
+          Some
+            (S_final
+               (Final_stage.create c.table c.bgr_meter ~rids ~restriction:c.restriction
+                  ~exclude:(fun rid -> Hashtbl.mem io.io_delivered rid)))
+      end;
+      Scan.Continue
+
+let index_only_fg c io =
+  match Sscan.step io.io_sscan with
+  | Scan.Deliver (rid, row) ->
+      Hashtbl.replace io.io_delivered rid ();
+      if Hashtbl.length io.io_delivered >= c.cfg.fgr_buffer_cap && io.io_bgr_active
+      then begin
+        (* Foreground buffer overflow: the safer Sscan wins,
+           Jscan terminates (§7 index-only). *)
+        io.io_bgr_active <- false;
+        Trace.emit c.trace
+          (Trace.Background_stopped
+             { reason = "foreground buffer overflow; Sscan is the safer strategy" })
+      end;
+      Scan.Deliver (rid, row)
+  | s -> s
+
+(* The machine's behavior, assembled from Tactic combinators
+   (DESIGN.md §17).  Each arm above is a one-quantum closure over the
+   tactic's state; phase sequencing ([then_]: the background settles,
+   then the final stage), cost competition ([race]: the §3
+   foreground/background switch), and mid-flight takeover ([preempt]:
+   index-only's sure list replacing the Sscan) belong to the
+   combinators — no bespoke multi-phase step dispatch remains.
+   Rebuilt whenever the machine is swapped (Tscan fallback). *)
+let tactic_of c machine =
+  match machine with
+  | M_empty -> Tactic.halt
+  | M_tscan t -> fun () -> Tscan.step t
+  | M_sscan s -> fun () -> Sscan.step s
+  | M_fscan f -> fun () -> Fscan.step f
+  | M_bg_only bg ->
+      let nobody = Hashtbl.create 0 in
+      Tactic.then_
+        (fun () ->
           match Jscan.step bg.bg_jscan with
           | `Working -> Scan.Continue
           | `Faulted f -> bg_failed c (Jscan.quarantine bg.bg_jscan) f
-          | `Finished outcome ->
-              bg.bg_stage2 <- Some (make_stage2 c outcome ~delivered:(Hashtbl.create 0));
-              Scan.Continue))
-  | M_union un -> (
-      match un.un_stage2 with
-      | Some s2 -> step_stage2 c.table c.restriction (Hashtbl.create 0) s2
-      | None -> (
+          | `Finished _ -> Scan.Done)
+        (fun () ->
+          stage2_successor c ~delivered:nobody
+            ~store:(fun s2 -> bg.bg_stage2 <- Some s2)
+            (Option.get (Jscan.outcome bg.bg_jscan)))
+  | M_union un ->
+      let nobody = Hashtbl.create 0 in
+      Tactic.then_
+        (fun () ->
           match Uscan.step un.un_scan with
           | `Working -> Scan.Continue
           | `Faulted f -> bg_failed c (Uscan.abandon un.un_scan) f
-          | `Finished outcome ->
-              let as_jscan =
-                match outcome with
-                | Uscan.Rid_list rids -> Jscan.Rid_list rids
-                | Uscan.Recommend_tscan r -> Jscan.Recommend_tscan r
-              in
-              un.un_stage2 <- Some (make_stage2 c as_jscan ~delivered:(Hashtbl.create 0));
-              Scan.Continue))
-  | M_fast_first ff -> step_fast_first c ff
-  | M_sorted so -> step_sorted c so
-  | M_index_only io -> step_index_only c io
-
-and step_fast_first c ff =
-  match ff.ff_stage2 with
-  | Some s2 -> step_stage2 c.table c.restriction ff.ff_delivered s2
-  | None -> (
-      (* The background is always advanced first (it is also the RID
-         source); the foreground additionally works when its spent cost
-         lags the background's. *)
-      match Jscan.step ff.ff_jscan with
-      | `Faulted f -> bg_failed c (Jscan.quarantine ff.ff_jscan) f
-      | `Finished outcome ->
-          if ff.ff_active then
-            Trace.emit c.trace (Trace.Foreground_stopped { reason = "background completed" });
-          ff.ff_active <- false;
-          ff.ff_stage2 <- Some (make_stage2 c outcome ~delivered:ff.ff_delivered);
-          Scan.Continue
-      | `Working ->
-          if ff.ff_active && prefer_fgr c then begin
-            match Jscan.borrow ff.ff_jscan with
-            | None -> Scan.Continue
-            | Some rid ->
-                if Hashtbl.mem ff.ff_delivered rid then Scan.Continue
-                else begin
-                  (* A faulted borrowed fetch is reported as a
-                     *foreground* heap fault; the borrowed RID is not
-                     replayed, which is safe — any true result row it
-                     names is still owed by the final stage (or the
-                     Tscan fallback), which excludes only delivered
-                     rows. *)
-                  match Heap_file.fetch (Table.heap c.table) c.fgr_meter rid with
-                  | exception Fault.Injected f -> Scan.Failed f
-                  | None -> Scan.Continue
-                  | Some row ->
-                      if Predicate.eval c.restriction (Table.schema c.table) row then begin
-                        Hashtbl.replace ff.ff_delivered rid ();
-                        if Hashtbl.length ff.ff_delivered >= c.cfg.fgr_buffer_cap then begin
-                          ff.ff_active <- false;
-                          Trace.emit c.trace
-                            (Trace.Foreground_stopped { reason = "foreground buffer overflow" })
-                        end;
-                        Scan.Deliver (rid, row)
-                      end
-                      else begin
-                        ff.ff_wasted <- ff.ff_wasted + 1;
-                        let wasted_cost =
-                          float_of_int ff.ff_wasted *. Cost.default_weights.Cost.physical_read
-                        in
-                        if
-                          wasted_cost
-                          > c.cfg.fgr_waste_cap *. Jscan.guaranteed_best ff.ff_jscan
-                        then begin
-                          ff.ff_active <- false;
-                          Trace.emit c.trace
-                            (Trace.Foreground_stopped
-                               { reason = "wasted fetches exceed competition cap" })
-                        end;
-                        Scan.Continue
-                      end
-                end
-          end
-          else Scan.Continue)
-
-and step_sorted c so =
-  (* Foreground always makes progress (it is the only deliverer); the
-     background advances while its cost lags. *)
-  if so.so_bgr_active && not (prefer_fgr c) then begin
-    match Jscan.step so.so_jscan with
-    | `Faulted f -> bg_failed c (Jscan.quarantine so.so_jscan) f
-    | `Working -> Scan.Continue
-    | `Finished (Jscan.Rid_list rids) ->
-        so.so_bgr_active <- false;
-        Fscan.set_filter so.so_fscan (Filter.of_sorted_array rids);
-        Scan.Continue
-    | `Finished (Jscan.Recommend_tscan _) ->
-        so.so_bgr_active <- false;
-        Scan.Continue
-  end
-  else begin
-    match Fscan.step so.so_fscan with
-    | Scan.Done ->
-        if so.so_bgr_active then begin
-          so.so_bgr_active <- false;
-          Trace.emit c.trace (Trace.Background_stopped { reason = "foreground finished first" })
-        end;
-        Scan.Done
-    | s -> s
-  end
-
-and step_index_only c io =
-  match io.io_stage2 with
-  | Some s2 -> step_stage2 c.table c.restriction io.io_delivered s2
-  | None ->
-      if io.io_bgr_active && not (prefer_fgr c) then begin
-        match Jscan.step io.io_jscan with
-        | `Faulted f -> bg_failed c (Jscan.quarantine io.io_jscan) f
-        | `Working -> Scan.Continue
-        | `Finished (Jscan.Recommend_tscan _) ->
-            io.io_bgr_active <- false;
-            Trace.emit c.trace
-              (Trace.Background_stopped { reason = "Jscan found no competitive list" });
-            Scan.Continue
-        | `Finished (Jscan.Rid_list rids) ->
-            io.io_bgr_active <- false;
-            (* Is the "sure" RID-list retrieval cheaper than finishing
-               the Sscan? *)
-            let remaining =
-              Float.max 0.0 (io.io_cand.Scan.est -. float_of_int (Sscan.delivered io.io_sscan))
-            in
-            let sscan_rest = Cost_model.index_scan_cost io.io_cand.Scan.idx ~entries:remaining in
-            let list_cost = Cost_model.rid_fetch_cost c.table ~k:(Array.length rids) in
-            if list_cost < sscan_rest then begin
-              Trace.emit c.trace
-                (Trace.Foreground_stopped
-                   { reason = "Jscan delivered a small sure list; Sscan abandoned" });
-              Trace.emit c.trace
-                (Trace.Final_stage
-                   { rids = Array.length rids; filtered_delivered = Hashtbl.length io.io_delivered });
-              io.io_stage2 <-
-                Some
-                  (S_final
-                     (Final_stage.create c.table c.bgr_meter ~rids ~restriction:c.restriction
-                        ~exclude:(fun rid -> Hashtbl.mem io.io_delivered rid)))
-            end;
-            Scan.Continue
-      end
-      else begin
-        match Sscan.step io.io_sscan with
-        | Scan.Deliver (rid, row) ->
-            Hashtbl.replace io.io_delivered rid ();
-            if Hashtbl.length io.io_delivered >= c.cfg.fgr_buffer_cap && io.io_bgr_active
-            then begin
-              (* Foreground buffer overflow: the safer Sscan wins,
-                 Jscan terminates (§7 index-only). *)
-              io.io_bgr_active <- false;
-              Trace.emit c.trace
-                (Trace.Background_stopped
-                   { reason = "foreground buffer overflow; Sscan is the safer strategy" })
-            end;
-            Scan.Deliver (rid, row)
-        | s -> s
-      end
+          | `Finished _ -> Scan.Done)
+        (fun () ->
+          let as_jscan =
+            match Option.get (Uscan.outcome un.un_scan) with
+            | Uscan.Rid_list rids -> Jscan.Rid_list rids
+            | Uscan.Recommend_tscan r -> Jscan.Recommend_tscan r
+          in
+          stage2_successor c ~delivered:nobody
+            ~store:(fun s2 -> un.un_stage2 <- Some s2)
+            as_jscan)
+  | M_fast_first ff ->
+      Tactic.then_
+        (fun () -> fast_first_phase1 c ff)
+        (fun () ->
+          stage2_successor c ~delivered:ff.ff_delivered
+            ~store:(fun s2 -> ff.ff_stage2 <- Some s2)
+            (Option.get (Jscan.outcome ff.ff_jscan)))
+  | M_sorted so ->
+      Tactic.race
+        ~choose:(fun () ->
+          if so.so_bgr_active && not (prefer_fgr c) then `Right else `Left)
+        ~left:(fun () -> sorted_fg c so)
+        ~right:(fun () -> sorted_bg c so)
+  | M_index_only io ->
+      Tactic.preempt
+        (fun () ->
+          match io.io_stage2 with
+          | Some s2 ->
+              Some (fun () -> step_stage2 c.table c.restriction io.io_delivered s2)
+          | None -> None)
+        (Tactic.race
+           ~choose:(fun () ->
+             if io.io_bgr_active && not (prefer_fgr c) then `Right else `Left)
+           ~left:(fun () -> index_only_fg c io)
+           ~right:(fun () -> index_only_bg c io))
 
 (* ------------------------------------------------------------------ *)
 (* Cursor API                                                          *)
@@ -680,37 +722,42 @@ let open_ ?(config = default_config) table (req : request) =
   Trace.emit trace (Trace.Span_end { span = "plan"; cost = Cost.total est_meter; rows = 0 });
   Trace.emit trace (Trace.Span_begin { span = "execute" });
   let needs_sort = req.order_by <> [] && not classified_order in
-  {
-    table;
-    cfg = config;
-    trace;
-    tactic;
-    goal;
-    goal_provenance;
-    restriction;
-    machine;
-    fgr_meter;
-    bgr_meter;
-    est_meter;
-    order_ids;
-    sorted_rows = None;
-    presort = [];
-    needs_sort;
-    ordered_by_index = classified_order;
-    feedback_pending;
-    delivered_rids = Hashtbl.create 64;
-    exclude_delivered = false;
-    driver = None;
-    inbox = [];
-    pending_bg = None;
-    aborted = None;
-    quota_hit = None;
-    deadline_hit = None;
-    delivered = 0;
-    first_row_cost = None;
-    closed = false;
-    summary = None;
-  }
+  let c =
+    {
+      table;
+      cfg = config;
+      trace;
+      tactic;
+      goal;
+      goal_provenance;
+      restriction;
+      machine;
+      tac = Tactic.halt;
+      fgr_meter;
+      bgr_meter;
+      est_meter;
+      order_ids;
+      sorted_rows = None;
+      presort = [];
+      needs_sort;
+      ordered_by_index = classified_order;
+      feedback_pending;
+      delivered_rids = Hashtbl.create 64;
+      exclude_delivered = false;
+      driver = None;
+      inbox = [];
+      pending_bg = None;
+      aborted = None;
+      quota_hit = None;
+      deadline_hit = None;
+      delivered = 0;
+      first_row_cost = None;
+      closed = false;
+      summary = None;
+    }
+  in
+  c.tac <- tactic_of c c.machine;
+  c
 
 (* ------------------------------------------------------------------ *)
 (* Degradation policies                                                *)
@@ -757,51 +804,93 @@ let fallback_tscan c f =
   Trace.emit c.trace (Trace.Fallback_tscan { reason = Fault.describe f });
   if c.ordered_by_index then c.needs_sort <- true;
   c.exclude_delivered <- true;
-  c.machine <- M_tscan (Tscan.create c.table c.fgr_meter c.restriction)
+  c.machine <- M_tscan (Tscan.create c.table c.fgr_meter c.restriction);
+  c.tac <- tactic_of c c.machine
 
-(* Retrieval's fault policy, dispatched by the shared driver.  The
-   driver owns consecutive-fault counting; this closure owns what the
-   count means: bounded retry with deterministic backoff for transient
-   faults, then quarantine (background), fallback (foreground index
-   path), or abort (heap). *)
-let fault_policy c =
-  {
-    Driver.on_fault =
-      (fun f ~consec ->
-        let site =
-          if Option.is_some c.pending_bg then
-            "background " ^ Fault.class_name f.Fault.class_
-          else "foreground " ^ Fault.class_name f.Fault.class_
-        in
-        Trace.emit c.trace (Trace.Fault_detected { site; fault = Fault.describe f });
-        if Fault.is_transient f && consec <= c.cfg.retry_limit then begin
-          (* The i-th consecutive retry charges i physical reads to the
-             faulted side's meter, so repeated faults both show up in
-             the cost accounting and shift the foreground/background
-             interleave away from the flaky device. *)
-          let meter = if Option.is_some c.pending_bg then c.bgr_meter else c.fgr_meter in
-          for _ = 1 to consec do
-            Cost.charge_physical meter
-          done;
-          Trace.emit c.trace (Trace.Fault_retry { site; attempt = consec; penalty = consec });
-          Driver.Retry
-        end
-        else begin
+(* Retrieval's degradation ladder as a Tactic.Policy stack, one rung
+   per recourse, tried in order (DESIGN.md §17).  The driver owns
+   consecutive-fault counting; the rungs own what the count means:
+   bounded retry with deterministic backoff for transient faults, then
+   quarantine (background), fallback (foreground index path), or abort
+   (heap).  Exactly one rung decides each fault, and a deciding
+   escalation rung's first effect is feeding the health registry. *)
+
+let fault_site c (f : Fault.failure) =
+  (if Option.is_some c.pending_bg then "background " else "foreground ")
+  ^ Fault.class_name f.Fault.class_
+
+let retry_rung c =
+  Tactic.Policy.bounded_retry ~limit:c.cfg.retry_limit
+    ~penalize:(fun f ~consec ->
+      (* The i-th consecutive retry charges i physical reads to the
+         faulted side's meter, so repeated faults both show up in
+         the cost accounting and shift the foreground/background
+         interleave away from the flaky device. *)
+      let meter = if Option.is_some c.pending_bg then c.bgr_meter else c.fgr_meter in
+      for _ = 1 to consec do
+        Cost.charge_physical meter
+      done;
+      Trace.emit c.trace
+        (Trace.Fault_retry { site = fault_site c f; attempt = consec; penalty = consec }))
+
+let quarantine_rung c =
+  Tactic.Policy.rung ~name:"quarantine" (fun f ~consec:_ ->
+      match c.pending_bg with
+      | Some quarantine ->
           note_structure_fault c f;
-          match c.pending_bg with
-          | Some quarantine ->
-              quarantine f;
-              Driver.Absorb
-          | None -> (
-              match f.Fault.class_ with
-              | Fault.Heap ->
-                  abort_query c f;
-                  Driver.Stop
-              | Fault.Index | Fault.Spill | Fault.Other ->
-                  fallback_tscan c f;
-                  Driver.Absorb)
-        end);
-  }
+          quarantine f;
+          Some Driver.Absorb
+      | None -> None)
+
+let abort_heap_rung c =
+  Tactic.Policy.rung ~name:"abort-heap" (fun f ~consec:_ ->
+      match f.Fault.class_ with
+      | Fault.Heap ->
+          note_structure_fault c f;
+          abort_query c f;
+          Some Driver.Stop
+      | Fault.Index | Fault.Spill | Fault.Other -> None)
+
+let fallback_rung c =
+  Tactic.Policy.rung ~name:"tscan-fallback" (fun f ~consec:_ ->
+      note_structure_fault c f;
+      fallback_tscan c f;
+      Some Driver.Absorb)
+
+(* Which rungs arm for which tactic: background-bearing tactics can
+   quarantine the faulted competitor; foreground index paths can fall
+   back to Tscan; a Tscan (and the empty machine) only ever touches
+   the heap, whose sole recourse past retrying is the structured
+   abort. *)
+let policy_stack c =
+  Tactic.Policy.stack
+    (match c.tactic with
+    | Background_only | Fast_first_tactic | Sorted_tactic | Index_only_tactic
+    | Union_tactic ->
+        [ retry_rung c; quarantine_rung c; abort_heap_rung c; fallback_rung c ]
+    | Static_sscan | Static_fscan ->
+        [ retry_rung c; abort_heap_rung c; fallback_rung c ]
+    | Static_tscan | Cancelled -> [ retry_rung c; abort_heap_rung c ])
+
+let fault_policy c =
+  Tactic.Policy.seal
+    ~observe:(fun f ~consec:_ ->
+      Trace.emit c.trace
+        (Trace.Fault_detected { site = fault_site c f; fault = Fault.describe f }))
+    (policy_stack c)
+
+(* The ladder a given tactic kind arms, as EXPLAIN prints it — kept in
+   lockstep with [policy_stack] (pinned per covered tactic by the
+   oracle suite). *)
+let policy_description ?(config = default_config) tactic =
+  let retry = Printf.sprintf "retry(%d)" config.retry_limit in
+  String.concat " \xe2\x87\x92 "
+    (match tactic with
+    | Background_only | Fast_first_tactic | Sorted_tactic | Index_only_tactic
+    | Union_tactic ->
+        [ retry; "quarantine"; "abort-heap"; "tscan-fallback" ]
+    | Static_sscan | Static_fscan -> [ retry; "abort-heap"; "tscan-fallback" ]
+    | Static_tscan | Cancelled -> [ retry; "abort-heap" ])
 
 (* Page-handle caches are only sound within one batch; the machine
    cursor invalidates whichever its current shape holds on every batch
@@ -826,7 +915,7 @@ let machine_cursor c =
          which ends the batch — so clearing it per step keeps the
          blame assignment of the step-at-a-time protocol. *)
       c.pending_bg <- None;
-      step_machine c)
+      c.tac ())
 
 let driver_of c =
   match c.driver with
@@ -1143,6 +1232,7 @@ let close c =
           tactic = c.tactic;
           goal = c.goal;
           goal_provenance = c.goal_provenance;
+          policy = Tactic.Policy.describe (policy_stack c);
           status;
           trace = events;
         }

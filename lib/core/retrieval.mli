@@ -131,9 +131,22 @@ type summary = {
   tactic : tactic_kind;
   goal : Goal.t;
   goal_provenance : string;
+  policy : string;
+      (** the fault-policy ladder this retrieval armed, as rung names
+          joined with [" ⇒ "] (e.g. ["retry(8) ⇒ quarantine ⇒
+          abort-heap ⇒ tscan-fallback"]) — EXPLAIN's [policy:] line.
+          Always equal to [policy_description ~config tactic]. *)
   status : status;
   trace : Trace.event list;
 }
+
+val policy_description : ?config:config -> tactic_kind -> string
+(** The degradation ladder a given tactic kind arms (DESIGN.md §17),
+    without opening a cursor: bounded transient retry first, then —
+    per tactic — background quarantine, the structured heap abort,
+    and the Tscan fallback for foreground index paths.  Kept in
+    lockstep with the armed {!Rdb_exec.Tactic.Policy} stack (pinned
+    by the oracle suite's coverage test). *)
 
 type cursor
 

@@ -16,17 +16,6 @@ type decision =
 
 type policy = { on_fault : Rdb_storage.Fault.failure -> consec:int -> decision }
 
-let retry_transient ~give_up =
-  {
-    on_fault =
-      (fun f ~consec:_ ->
-        if Rdb_storage.Fault.is_transient f then Retry
-        else begin
-          give_up f;
-          Absorb
-        end);
-  }
-
 type t = {
   cursor : Scan.cursor;
   policy : policy;

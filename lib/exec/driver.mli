@@ -20,13 +20,6 @@ type policy = { on_fault : Rdb_storage.Fault.failure -> consec:int -> decision }
 (** [consec] is the number of consecutive faults including this one
     (any successful step in between resets the run to zero). *)
 
-val retry_transient : give_up:(Rdb_storage.Fault.failure -> unit) -> policy
-(** The Uscan/Jscan policy: retry transient faults indefinitely (the
-    faulted access keeps its position, and injected transients clear
-    on a later attempt); on anything else call [give_up] — which must
-    redirect the underlying scan (abandon / quarantine) so pumping
-    can continue — and absorb. *)
-
 type t
 
 val make : Scan.cursor -> policy -> t

@@ -468,10 +468,14 @@ let cursor t =
       | `Faulted f -> Scan.Failed f)
 
 let run t =
-  let d = Driver.make (cursor t) (Driver.retry_transient ~give_up:(quarantine t)) in
+  let policy =
+    Tactic.Policy.(
+      seal (stack [ retry_transient; absorb_with ~name:"quarantine" (quarantine t) ]))
+  in
+  let d = Driver.make (cursor t) policy in
   (match Driver.drain d ~budget:infinity ~on_rows:(fun _ -> ()) with
   | Ok () -> ()
-  | Error _ -> (* retry_transient never stops *) assert false);
+  | Error _ -> (* the quarantine rung absorbs, never stops *) assert false);
   match t.finished with Some o -> o | None -> assert false
 
 let borrow t =

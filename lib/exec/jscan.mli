@@ -93,10 +93,10 @@ val outcome : t -> outcome option
 (** [None] until the competition settles. *)
 
 val run : t -> outcome
-(** Drain {!cursor} through the shared driver with the
-    {!Driver.retry_transient} policy: transient faults retry in
-    place, anything else quarantines the blamed party and the
-    competition continues. *)
+(** Drain {!cursor} through the shared driver under the
+    [retry-transient ⇒ quarantine] {!Tactic.Policy} ladder: transient
+    faults retry in place, anything else quarantines the blamed party
+    and the competition continues. *)
 
 val borrow : t -> Rid.t option
 (** Next not-yet-borrowed accepted RID, if any (fast-first tactic). *)

@@ -210,10 +210,14 @@ let cursor t =
       | `Faulted f -> Scan.Failed f)
 
 let run t =
-  let d = Driver.make (cursor t) (Driver.retry_transient ~give_up:(abandon t)) in
+  let policy =
+    Tactic.Policy.(
+      seal (stack [ retry_transient; absorb_with ~name:"abandon" (abandon t) ]))
+  in
+  let d = Driver.make (cursor t) policy in
   (match Driver.drain d ~budget:infinity ~on_rows:(fun _ -> ()) with
   | Ok () -> ()
-  | Error _ -> (* retry_transient never stops *) assert false);
+  | Error _ -> (* the abandon rung absorbs, never stops *) assert false);
   match t.finished with Some o -> o | None -> assert false
 
 let meter t = t.meter

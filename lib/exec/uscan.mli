@@ -54,8 +54,9 @@ val outcome : t -> outcome option
 (** [None] until the union finishes (or is abandoned). *)
 
 val run : t -> outcome
-(** Drain {!cursor} through the shared driver with the
-    {!Driver.retry_transient} policy: transient faults retry in
-    place, anything else abandons to [Recommend_tscan]. *)
+(** Drain {!cursor} through the shared driver under the
+    [retry-transient ⇒ abandon] {!Tactic.Policy} ladder: transient
+    faults retry in place, anything else abandons to
+    [Recommend_tscan]. *)
 
 val meter : t -> Cost.t

@@ -308,6 +308,7 @@ and run_join db env config summaries (sel : Ast.select) b_name ?force_limit () =
        value, memoized. *)
     let probe_cost = ref 0.0 and probe_rows = ref 0 and probes = ref 0 and hits = ref 0 in
     let last_tactic = ref Retrieval.Static_tscan and last_goal = ref Rdb_core.Goal.Total_time in
+    let last_policy = ref (Retrieval.policy_description ?config Retrieval.Static_tscan) in
     let cache : (Value.t, Row.t list) Hashtbl.t = Hashtbl.create 64 in
     let probe v =
       match Hashtbl.find_opt cache v with
@@ -329,6 +330,7 @@ and run_join db env config summaries (sel : Ast.select) b_name ?force_limit () =
           probe_rows := !probe_rows + s.Retrieval.rows_delivered;
           last_tactic := s.Retrieval.tactic;
           last_goal := s.Retrieval.goal;
+          last_policy := s.Retrieval.policy;
           Hashtbl.replace cache v rows;
           rows
     in
@@ -363,6 +365,7 @@ and run_join db env config summaries (sel : Ast.select) b_name ?force_limit () =
         goal_provenance =
           Printf.sprintf "per-iteration dynamic probes (%d probes, %d memoized)" !probes
             !hits;
+        policy = !last_policy;
         status = Retrieval.Completed;
         trace = [];
       }
@@ -654,6 +657,7 @@ let execute ?(env = []) ?config db stmt =
                (Goal.to_string s.Retrieval.goal)
                s.Retrieval.goal_provenance
                (Retrieval.tactic_to_string s.Retrieval.tactic))
+            :: ("  policy: " ^ s.Retrieval.policy)
             :: List.map
                  (fun e -> "  " ^ Rdb_exec.Trace.event_to_string e)
                  s.Retrieval.trace

@@ -116,6 +116,55 @@ let raw_tscan table pred =
   loop ();
   List.rev !out
 
+(* Pump a composed tactic to exhaustion through the shared driver
+   under a [retry-transient] Policy ladder — the oracle-side twin of
+   how every engine loop drives its cursors. *)
+let drain_tactic m tac =
+  let out = ref [] in
+  let d =
+    Driver.make
+      (Scan.cursor_of_step ~cost:(fun () -> Rdb_storage.Cost.total m) tac)
+      Tactic.Policy.(seal (stack [ retry_transient ]))
+  in
+  (match
+     Driver.drain d ~budget:infinity
+       ~on_rows:(fun b -> List.iter (fun (_, r) -> out := r :: !out) b.Scan.rows)
+   with
+  | Ok () -> ()
+  | Error _ -> ());
+  List.rev !out
+
+(* ISSUE 10's compositionality proof: a genuinely new hybrid strategy
+   from combinators alone — an Fscan in X-key order that falls back
+   ORELSE to a fresh Tscan on the first fault that reaches it,
+   [distinct]-guarded so the overlapping arms never redeliver. *)
+let hybrid_strategy table bound () =
+  let idx = Option.get (Table.find_index table "X_IDX") in
+  let m = Rdb_storage.Cost.create () in
+  let cand =
+    { Scan.idx; ranges = [ Rdb_btree.Btree.full_range ];
+      residual = bound; est = 0.0; est_exact = false }
+  in
+  let fscan = Fscan.create table m cand ~restriction:bound in
+  let to_tscan _ = let t = Tscan.create table m bound in fun () -> Tscan.step t in
+  drain_tactic m
+    Tactic.(distinct (Hashtbl.create 64) (orelse (fun () -> Fscan.step fscan) to_tscan))
+
+(* The seed composes 2–3 random combinators around a Tscan; each wrap
+   is an identity by its .mli law, so the composition must still match
+   the oracle (and, in the faulty runs, under fault injection too). *)
+let wrap_random rng tac =
+  let wrap tac =
+    match Prng.int rng 5 with
+    | 0 -> Tactic.limit max_int tac
+    | 1 -> Tactic.abandon_if (fun () -> None) tac
+    | 2 -> Tactic.distinct (Hashtbl.create 16) tac
+    | 3 -> Tactic.then_ tac (fun () -> Tactic.halt)
+    | _ -> Tactic.race ~choose:(fun () -> `Left) ~left:tac ~right:Tactic.halt
+  in
+  let rec go n tac = if n = 0 then tac else go (n - 1) (wrap tac) in
+  go (2 + Prng.int rng 2) tac
+
 let random_config rng =
   {
     R.default_config with
@@ -158,6 +207,12 @@ let strategies ~note rng table pred env =
         let config = { R.default_config with R.feedback_rate = 1.0 } in
         ignore (dyn ~config (R.request ~env pred) ());
         dyn ~config (R.request ~env pred) () );
+    ("dynamic hybrid (fscan orelse tscan)", hybrid_strategy table bound);
+    ( "dynamic tactic-wrapped tscan",
+      fun () ->
+        let m = Rdb_storage.Cost.create () in
+        let t = Tscan.create table m bound in
+        drain_tactic m (wrap_random rng (fun () -> Tscan.step t)) );
     ("raw tscan", fun () -> raw_tscan table bound);
     ("static mean-point [SACL79]", fun () ->
         let plan = SO.compile table pred ~env:[] in
@@ -242,13 +297,21 @@ let run_case ?(faulty = false) (seed, rows, knobs) =
 
 let case_gen = QCheck.(triple (int_bound 1_000_000) (int_range 150 500) (int_bound 11))
 
+(* Nightly CI raises the case count via QCHECK_COUNT; a failing case
+   replays from the seed qcheck-alcotest prints (QCHECK_SEED). *)
+let qcount default =
+  match Option.bind (Sys.getenv_opt "QCHECK_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> default
+
 let prop_all_tactics_agree =
-  QCheck.Test.make ~name:"all tactics return the oracle multiset" ~count:60 case_gen
+  QCheck.Test.make ~name:"all tactics return the oracle multiset" ~count:(qcount 60)
+    case_gen
     (fun case -> run_case case)
 
 let prop_all_tactics_agree_under_faults =
-  QCheck.Test.make ~name:"dynamic tactics agree under transient index faults" ~count:50
-    case_gen
+  QCheck.Test.make ~name:"dynamic tactics agree under transient index faults"
+    ~count:(qcount 50) case_gen
     (fun case -> run_case ~faulty:true case)
 
 (* Make sure the differential sweep actually visits the tactic space:
@@ -266,6 +329,10 @@ let test_tactic_coverage () =
       (Printf.sprintf "coverage run correct (%s)" (R.tactic_to_string s.R.tactic))
       true
       (List.length rows = List.length (oracle table bound));
+    (* the summary's armed ladder and the pure description must never
+       drift apart (EXPLAIN prints the latter for probe sides) *)
+    check "policy description in lockstep" true
+      (s.R.policy = R.policy_description s.R.tactic);
     Hashtbl.replace seen s.R.tactic ()
   in
   note ~explicit_goal:Goal.Total_time (Like ("S", "s000%"));
